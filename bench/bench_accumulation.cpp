@@ -1,0 +1,56 @@
+// Accumulation study: the paper's design consideration (b) — "low error
+// bias to facilitate cancellation of errors in successive computations"
+// ([3], [4]) — made concrete.  We approximate dot products of growing length
+// L and report the relative error of the accumulated result: biased designs
+// (cALM at -3.85 %) converge to their bias; low-bias designs (REALM, MBM,
+// DRUM) converge toward zero as independent errors cancel.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "realm/multipliers/registry.hpp"
+#include "realm/numeric/rng.hpp"
+
+using namespace realm;
+
+int main(int argc, char** argv) {
+  (void)bench::Args::parse(argc, argv);
+  const std::vector<std::string> specs = {"realm:m=16,t=0", "realm:m=4,t=9", "mbm:t=0",
+                                          "calm", "drum:k=6", "ssm:m=8", "intalp:l=1"};
+  const std::vector<int> lengths = {1, 4, 16, 64, 256, 1024};
+  const int trials = 300;
+
+  std::printf("Accumulation error: mean relative error (%%) of L-term dot products\n");
+  std::printf("(%d random trials per cell; uniform 16-bit operands)\n\n", trials);
+  std::printf("%-18s", "design");
+  for (const int len : lengths) std::printf("  L=%-7d", len);
+  std::printf("\n");
+  bench::print_rule(18 + 10 * static_cast<int>(lengths.size()));
+
+  for (const auto& spec : specs) {
+    const auto mul = mult::make_multiplier(spec, 16);
+    std::printf("%-18s", mul->name().c_str());
+    for (const int len : lengths) {
+      num::Xoshiro256 rng{0xACCu + static_cast<std::uint64_t>(len)};
+      double mean_rel = 0.0;
+      for (int trial = 0; trial < trials; ++trial) {
+        double exact = 0.0, approx = 0.0;
+        for (int i = 0; i < len; ++i) {
+          const std::uint64_t a = 1 + rng.below(65535);
+          const std::uint64_t b = 1 + rng.below(65535);
+          exact += static_cast<double>(a) * static_cast<double>(b);
+          approx += static_cast<double>(mul->multiply(a, b));
+        }
+        mean_rel += (approx - exact) / exact;
+      }
+      std::printf(" %+9.3f", 100.0 * mean_rel / trials);
+    }
+    std::printf("\n");
+  }
+  bench::print_rule(18 + 10 * static_cast<int>(lengths.size()));
+  std::printf("shape check: cALM stays pinned near its -3.85%% bias at every L;\n"
+              "low-bias designs (REALM/MBM/DRUM) shrink toward zero as L grows.\n");
+  return 0;
+}

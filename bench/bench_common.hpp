@@ -1,0 +1,56 @@
+// Shared helpers for the reproduction benches: flag parsing and the paper's
+// reference numbers for side-by-side reporting.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace realm::bench {
+
+/// --samples=N / --cycles=N / --quick style flag parsing; unknown flags are
+/// fatal so typos do not silently run the default experiment.
+struct Args {
+  std::uint64_t samples = std::uint64_t{1} << 22;  ///< Monte-Carlo pairs
+  std::uint32_t cycles = 1000;                     ///< power stimulus vectors
+  int image_size = 512;                            ///< JPEG evaluation images
+  bool full = false;  ///< use the paper's full 2^24 sample budget
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto val = [&](const char* prefix) -> const char* {
+        return arg.c_str() + std::strlen(prefix);
+      };
+      if (arg.rfind("--samples=", 0) == 0) {
+        a.samples = std::strtoull(val("--samples="), nullptr, 10);
+      } else if (arg.rfind("--cycles=", 0) == 0) {
+        a.cycles = static_cast<std::uint32_t>(std::strtoul(val("--cycles="), nullptr, 10));
+      } else if (arg.rfind("--image-size=", 0) == 0) {
+        a.image_size = std::atoi(val("--image-size="));
+      } else if (arg == "--full") {
+        a.full = true;
+        a.samples = std::uint64_t{1} << 24;  // the paper's budget
+        a.cycles = 4000;
+      } else if (arg == "--help") {
+        std::printf("flags: --samples=N --cycles=N --image-size=N --full\n");
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return a;
+  }
+};
+
+inline void print_rule(int width = 118) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace realm::bench

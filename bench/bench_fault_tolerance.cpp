@@ -1,0 +1,39 @@
+// Fault-tolerance study: how much does a single stuck-at defect move the
+// product, per design?  Approximate-computing folklore says approximate
+// datapaths degrade gracefully; the numbers below test that folklore on the
+// actual Table I circuits.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/faults.hpp"
+#include "realm/multipliers/registry.hpp"
+
+using namespace realm;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  const int vectors = static_cast<int>(args.cycles / 4);
+
+  std::printf("Single stuck-at fault impact (%d vectors/site, <=1500 sites/design)\n",
+              vectors);
+  std::printf("%-18s %8s %12s %14s %14s\n", "design", "gates", "undetected",
+              "mean rel err", "worst rel err");
+  bench::print_rule(72);
+  for (const char* spec : {"accurate", "calm", "mbm:t=0", "realm:m=16,t=0",
+                           "realm:m=4,t=9", "drum:k=6", "ssm:m=8"}) {
+    const hw::Module mod = hw::build_circuit(spec, 16);
+    const auto r = hw::analyze_fault_impact(mod, vectors, 0xFA, 1500);
+    std::printf("%-18s %8zu %8zu/%-4zu %13.4f %14.4f\n", spec, mod.gates().size(),
+                r.sites_undetected, r.sites_analyzed, r.mean_rel_error,
+                r.worst_rel_error);
+  }
+  bench::print_rule(72);
+  std::printf("reading: 'undetected' sites never flip an output on the sampled\n"
+              "vectors (structural redundancy); mean/worst are relative product\n"
+              "errors over detected faults.  Log-based datapaths concentrate\n"
+              "catastrophic sites in the LOD/characteristic logic, while the\n"
+              "Wallace tree spreads impact across many mid-weight sites.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 4: the accuracy vs resource-efficiency design space over all Table I
+// configurations, with Pareto fronts for the four panels
+// (area|power reduction × mean|peak error).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "bench_common.hpp"
+#include "realm/dse/pareto.hpp"
+#include "realm/dse/sweep.hpp"
+#include "realm/multipliers/registry.hpp"
+
+using namespace realm;
+
+namespace {
+
+void print_panel(const char* title, const std::vector<dse::DesignPoint>& pts,
+                 dse::CostAxis cost, dse::ErrorAxis error) {
+  const auto front = dse::fig4_front(pts, cost, error);
+  const std::set<std::size_t> on_front(front.begin(), front.end());
+  std::printf("\n%s — Pareto-optimal points (ascending reduction):\n", title);
+  int realm_count = 0;
+  for (const std::size_t i : front) {
+    const auto& p = pts[i];
+    const double x = cost == dse::CostAxis::kAreaReduction ? p.area_reduction_pct
+                                                           : p.power_reduction_pct;
+    const double y = error == dse::ErrorAxis::kMeanError ? p.error.mean : p.error.peak();
+    std::printf("  %-22s  reduction=%6.2f%%  error=%6.2f%%\n", p.name.c_str(), x, y);
+    if (p.is_realm()) ++realm_count;
+  }
+  std::printf("  -> %d of %zu front points are REALM configurations\n", realm_count,
+              front.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  dse::SweepOptions opts;
+  opts.monte_carlo.samples = args.samples / 4;  // 65 designs; keep the run brisk
+  opts.stimulus.cycles = args.cycles;
+  opts.verbose = false;
+
+  std::printf("Fig. 4 — design space over %zu Table I configurations\n",
+              mult::table1_specs().size());
+  const auto pts = dse::run_sweep(mult::table1_specs(), opts);
+
+  std::filesystem::create_directories("bench_out");
+  std::ofstream csv{"bench_out/fig4_design_space.csv"};
+  csv << dse::design_points_csv_header() << '\n';
+  for (const auto& p : pts) csv << p.to_csv_row() << '\n';
+  std::printf("full design space written to bench_out/fig4_design_space.csv\n");
+
+  print_panel("(a) mean error vs area reduction", pts, dse::CostAxis::kAreaReduction,
+              dse::ErrorAxis::kMeanError);
+  print_panel("(b) mean error vs power reduction", pts, dse::CostAxis::kPowerReduction,
+              dse::ErrorAxis::kMeanError);
+  print_panel("(c) peak error vs area reduction", pts, dse::CostAxis::kAreaReduction,
+              dse::ErrorAxis::kPeakError);
+  print_panel("(d) peak error vs power reduction", pts, dse::CostAxis::kPowerReduction,
+              dse::ErrorAxis::kPeakError);
+
+  std::printf("\nshape check vs Fig. 4: the front is primarily REALM configurations,\n"
+              "with DRUM8 at the low-reduction end and high-error designs (MBM/DRUM5/\n"
+              "ALM-SOA) at the high-reduction end.\n");
+  return 0;
+}

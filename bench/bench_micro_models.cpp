@@ -1,0 +1,81 @@
+// Throughput microbenchmarks (google-benchmark): behavioral models, the
+// s_ij derivation engine, netlist simulation, and the JPEG block pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "realm/core/segment_factors.hpp"
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/simulator.hpp"
+#include "realm/jpeg/dct.hpp"
+#include "realm/multipliers/registry.hpp"
+#include "realm/numeric/rng.hpp"
+
+using namespace realm;
+
+namespace {
+
+void BM_Multiply(benchmark::State& state, const std::string& spec) {
+  const auto m = mult::make_multiplier(spec, 16);
+  num::Xoshiro256 rng{1};
+  std::uint64_t a = rng.below(65536) | 1, b = rng.below(65536) | 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->multiply(a, b));
+    a = (a * 0x9E37u + 1) & 0xFFFF;
+    b = (b * 0x79B9u + 3) & 0xFFFF;
+    a |= 1;
+    b |= 1;
+  }
+}
+
+void BM_SegmentTable(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::segment_factor_table(m));
+  }
+}
+
+void BM_NetlistSim(benchmark::State& state, const std::string& spec) {
+  const hw::Module mod = hw::build_circuit(spec, 16);
+  hw::Simulator sim{mod};
+  num::Xoshiro256 rng{2};
+  for (auto _ : state) {
+    sim.set_input(0, rng.below(65536));
+    sim.set_input(1, rng.below(65536));
+    sim.eval();
+    benchmark::DoNotOptimize(sim.output(0));
+  }
+}
+
+void BM_Dct8x8(benchmark::State& state, const std::string& spec) {
+  const auto m = mult::make_multiplier(spec, 16);
+  const auto f = m->as_function();
+  std::array<std::int16_t, 64> in{}, out{};
+  num::Xoshiro256 rng{3};
+  for (auto& v : in) v = static_cast<std::int16_t>(rng.below(256)) - 128;
+  for (auto _ : state) {
+    jpeg::fdct8x8(in, out, f);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Multiply, accurate, std::string{"accurate"});
+BENCHMARK_CAPTURE(BM_Multiply, calm, std::string{"calm"});
+BENCHMARK_CAPTURE(BM_Multiply, mbm_t0, std::string{"mbm:t=0"});
+BENCHMARK_CAPTURE(BM_Multiply, realm16_t0, std::string{"realm:m=16,t=0"});
+BENCHMARK_CAPTURE(BM_Multiply, realm4_t9, std::string{"realm:m=4,t=9"});
+BENCHMARK_CAPTURE(BM_Multiply, drum_k6, std::string{"drum:k=6"});
+BENCHMARK_CAPTURE(BM_Multiply, ssm_m8, std::string{"ssm:m=8"});
+BENCHMARK_CAPTURE(BM_Multiply, am1_nb9, std::string{"am1:nb=9"});
+BENCHMARK_CAPTURE(BM_Multiply, intalp_l2, std::string{"intalp:l=2"});
+
+BENCHMARK(BM_SegmentTable)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_NetlistSim, accurate, std::string{"accurate"});
+BENCHMARK_CAPTURE(BM_NetlistSim, realm16, std::string{"realm:m=16,t=0"});
+
+BENCHMARK_CAPTURE(BM_Dct8x8, exact, std::string{"accurate"});
+BENCHMARK_CAPTURE(BM_Dct8x8, realm16_t8, std::string{"realm:m=16,t=8"});
+
+BENCHMARK_MAIN();

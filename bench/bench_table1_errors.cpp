@@ -1,0 +1,44 @@
+// Table I (error columns): Monte-Carlo error characterization of every
+// design configuration, printed next to the paper's numbers.
+//
+// Default budget is 2^22 uniform input pairs per design (the paper uses
+// 2^24; pass --full to match it exactly).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "paper_reference.hpp"
+#include "realm/error/monte_carlo.hpp"
+#include "realm/multipliers/registry.hpp"
+
+using namespace realm;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  err::MonteCarloOptions opts;
+  opts.samples = args.samples;
+
+  std::printf("Table I — error metrics (%llu samples/design; paper values in brackets)\n",
+              static_cast<unsigned long long>(opts.samples));
+  bench::print_rule();
+  std::printf("%-22s %19s %19s %21s %21s %19s\n", "design", "bias %", "mean %",
+              "min peak %", "max peak %", "variance");
+  bench::print_rule();
+
+  std::printf("\nCSV:spec,bias,mean,min,max,variance\n");
+  for (const auto& spec : mult::table1_specs()) {
+    const auto model = mult::make_multiplier(spec, 16);
+    const auto r = err::monte_carlo(*model, opts);
+    const auto p = bench::paper_row(spec);
+    std::printf("%-22s %+7.2f [%+6.2f]    %6.2f [%6.2f]    %+7.2f [%+7.2f]     "
+                "%+7.2f [%+7.2f]    %7.2f [%7.2f]\n",
+                model->name().c_str(), r.bias, p ? p->bias : 0.0, r.mean,
+                p ? p->mean : 0.0, r.min, p ? p->min : 0.0, r.max, p ? p->max : 0.0,
+                r.variance, p ? p->variance : 0.0);
+    std::printf("CSV:%s,%.4f,%.4f,%.4f,%.4f,%.4f\n", spec.c_str(), r.bias, r.mean,
+                r.min, r.max, r.variance);
+  }
+  bench::print_rule();
+  std::printf("note: bracketed values are Table I of the paper; see EXPERIMENTS.md\n");
+  return 0;
+}

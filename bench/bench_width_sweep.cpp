@@ -1,0 +1,43 @@
+// Operand-width sweep: the paper evaluates 16-bit designs; the log-domain
+// construction is width-independent, so REALM's error metrics should hold
+// from 8 to 31 bits while LUT cost stays constant — this bench verifies the
+// claim and reports the area scaling alongside.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "realm/error/monte_carlo.hpp"
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/timing.hpp"
+#include "realm/multipliers/registry.hpp"
+
+using namespace realm;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  err::MonteCarloOptions mco;
+  mco.samples = args.samples / 8;
+
+  std::printf("Operand-width sweep\n");
+  std::printf("%-8s %-18s %9s %9s %9s %12s %12s %10s\n", "width", "design", "bias %",
+              "mean %", "peak %", "gates", "area um^2", "delay ps");
+  bench::print_rule(96);
+  for (const int n : {8, 12, 16, 24, 31}) {
+    for (const std::string spec : {"realm:m=8,t=0", "calm", "accurate"}) {
+      const auto model = mult::make_multiplier(spec, n);
+      const auto r = err::monte_carlo(*model, mco);
+      const hw::Module mod = hw::build_circuit(spec, n);
+      const auto timing = hw::analyze_timing(mod);
+      std::printf("%-8d %-18s %+9.2f %9.2f %9.2f %12zu %12.1f %10.0f\n", n,
+                  model->name().c_str(), r.bias, r.mean, r.peak(), mod.gates().size(),
+                  mod.area_um2(), timing.critical_path_ps);
+    }
+  }
+  bench::print_rule(96);
+  std::printf("shape check: REALM8 mean error ~0.75%% at every width >= 12 (narrow\n"
+              "widths add fraction-grid noise); accurate-multiplier cost grows ~N^2,\n"
+              "log-based cost ~N log N.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Beyond integer multiplication: the same log-domain machinery applied to
+// division (Mitchell's original scope) and IEEE-754 binary32 multiplication
+// with a REALM mantissa core.
+//
+//   $ ./approx_arithmetic
+
+#include <cmath>
+#include <cstdio>
+
+#include "realm/core/divider.hpp"
+#include "realm/fp/float_multiplier.hpp"
+#include "realm/numeric/rng.hpp"
+#include "realm/realm.hpp"
+
+int main() {
+  using namespace realm;
+
+  // --- Division ---
+  core::MitchellDivider mitchell{16};
+  core::RealmDivider realm_div{{.n = 16, .m = 8, .q = 6}};
+  std::printf("approximate division (a / b):\n");
+  for (const auto& [a, b] :
+       std::initializer_list<std::pair<std::uint64_t, std::uint64_t>>{{50000, 123},
+                                                                    {40000, 17},
+                                                                    {65535, 255}}) {
+    const double exact = static_cast<double>(a) / static_cast<double>(b);
+    const auto em = static_cast<double>(mitchell.divide(a, b));
+    const auto er = static_cast<double>(realm_div.divide(a, b));
+    std::printf("  %5llu / %3llu = %8.2f | Mitchell %6.0f (%+5.2f%%) | %s %6.0f (%+5.2f%%)\n",
+                static_cast<unsigned long long>(a), static_cast<unsigned long long>(b),
+                exact, em, 100.0 * (em - exact) / exact, realm_div.name().c_str(), er,
+                100.0 * (er - exact) / exact);
+  }
+
+  // Mean errors over a random workload.
+  num::Xoshiro256 rng{11};
+  double sum_m = 0.0, sum_r = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t b = 1 + rng.below(255);
+    const std::uint64_t a = (b << 6) + rng.below(65536 - (b << 6));
+    const double exact = static_cast<double>(a) / static_cast<double>(b);
+    sum_m += std::fabs(static_cast<double>(mitchell.divide(a, b)) - exact) / exact;
+    sum_r += std::fabs(static_cast<double>(realm_div.divide(a, b)) - exact) / exact;
+  }
+  std::printf("  mean |error| over %d random divisions: Mitchell %.2f%%, %s %.2f%%\n\n",
+              trials, 100.0 * sum_m / trials, realm_div.name().c_str(),
+              100.0 * sum_r / trials);
+
+  // --- Floating point ---
+  const auto fp_exact = fp::ApproxFloatMultiplier::from_spec("accurate");
+  const auto fp_realm = fp::ApproxFloatMultiplier::from_spec("realm:m=16,t=0");
+  const auto fp_calm = fp::ApproxFloatMultiplier::from_spec("calm");
+  std::printf("binary32 multiplication with approximate 24-bit mantissa cores:\n");
+  const float a = 3.14159f, b = 2.71828f;
+  std::printf("  %.5f x %.5f = %.5f (IEEE)\n", a, b, a * b);
+  std::printf("    %-22s -> %.5f\n", fp_exact.name().c_str(), fp_exact.multiply(a, b));
+  std::printf("    %-22s -> %.5f\n", fp_realm.name().c_str(), fp_realm.multiply(a, b));
+  std::printf("    %-22s -> %.5f\n", fp_calm.name().c_str(), fp_calm.multiply(a, b));
+  return 0;
+}

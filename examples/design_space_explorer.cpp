@@ -1,0 +1,48 @@
+// Design-space exploration: characterize any set of multiplier configs for
+// error AND hardware cost, then report which ones are Pareto-optimal.
+//
+//   $ ./design_space_explorer                         # curated default set
+//   $ ./design_space_explorer realm:m=8,t=3 drum:k=7  # your own candidates
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "realm/realm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace realm;
+
+  std::vector<std::string> specs;
+  for (int i = 1; i < argc; ++i) specs.emplace_back(argv[i]);
+  if (specs.empty()) {
+    specs = {"realm:m=16,t=0", "realm:m=16,t=8", "realm:m=8,t=4", "realm:m=4,t=9",
+             "calm",           "mbm:t=0",        "drum:k=8",      "drum:k=6",
+             "ssm:m=9",        "essm:m=8"};
+  }
+
+  dse::SweepOptions opts;
+  opts.monte_carlo.samples = 1 << 20;
+  opts.stimulus.cycles = 500;
+  opts.verbose = true;
+  std::printf("sweeping %zu designs (error: 2^20 samples, power: 500 vectors)...\n\n",
+              specs.size());
+  const auto points = dse::run_sweep(specs, opts);
+
+  const auto front = dse::fig4_front(points, dse::CostAxis::kAreaReduction,
+                                     dse::ErrorAxis::kMeanError);
+  const std::set<std::size_t> optimal(front.begin(), front.end());
+
+  std::printf("\n%-22s %9s %9s %10s %10s  %s\n", "design", "mean err%", "peak err%",
+              "area-red%", "power-red%", "Pareto?");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::printf("%-22s %9.2f %9.2f %10.1f %10.1f  %s\n", p.name.c_str(), p.error.mean,
+                p.error.peak(), p.area_reduction_pct, p.power_reduction_pct,
+                optimal.count(i) ? "YES" : "-");
+  }
+  std::printf("\n(front computed on the mean-error vs area-reduction panel, as in\n"
+              " Fig. 4(a); points with mean error > 4%% are excluded like the paper)\n");
+  return 0;
+}

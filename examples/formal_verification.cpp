@@ -1,0 +1,70 @@
+// Formal equivalence checking with the built-in BDD engine: proofs, not
+// samples.
+//
+//   $ ./formal_verification
+
+#include <cstdio>
+
+#include "realm/hw/bdd.hpp"
+#include "realm/realm.hpp"
+
+int main() {
+  using namespace realm;
+
+  // 1. Three exact 8×8 multiplier architectures are the same function —
+  //    proven over all 65536 input pairs at once.
+  hw::Module wallace = hw::build_accurate(8);
+  hw::Module booth = hw::build_accurate_booth(8);
+  booth.prune();
+  const auto r1 = hw::check_equivalence(wallace, booth);
+  std::printf("wallace8 == booth8:        %s\n", r1.equivalent ? "PROVEN" : "REFUTED");
+
+  // 2. Adder architectures at 24 bits (2^48 input pairs — far beyond
+  //    simulation reach).
+  const auto adder = [](hw::AdderArch arch) {
+    hw::Module m{"adder"};
+    const hw::Bus a = m.add_input("a", 24);
+    const hw::Bus b = m.add_input("b", 24);
+    auto r = hw::add_with_arch(m, a, b, arch);
+    hw::Bus out = r.sum;
+    out.push_back(r.carry);
+    m.add_output("o", out);
+    return m;
+  };
+  const auto r2 = hw::check_equivalence(adder(hw::AdderArch::kRipple),
+                                        adder(hw::AdderArch::kKoggeStone));
+  std::printf("ripple24 == kogge-stone24: %s\n", r2.equivalent ? "PROVEN" : "REFUTED");
+
+  // 3. An approximate design is NOT the exact multiplier; the checker hands
+  //    back a concrete distinguishing input.
+  const hw::Module calm = hw::build_circuit("calm", 8);
+  const hw::Module exact = hw::build_circuit("accurate", 8);
+  const auto r3 = hw::check_equivalence(calm, exact);
+  std::printf("calm8 == accurate8:        %s", r3.equivalent ? "PROVEN" : "REFUTED");
+  if (!r3.equivalent) {
+    const auto a = r3.counterexample[0];
+    const auto b = r3.counterexample[1];
+    hw::Simulator sc{calm};
+    std::printf("  (witness: %llu x %llu -> %llu, exact %llu)",
+                static_cast<unsigned long long>(a), static_cast<unsigned long long>(b),
+                static_cast<unsigned long long>(sc.run({a, b})),
+                static_cast<unsigned long long>(a * b));
+  }
+  std::printf("\n");
+
+  // 4. Model counting: for how many 8-bit input pairs is cALM exact?
+  hw::BddManager mgr;
+  const auto fa = hw::build_bdds(mgr, calm);
+  const auto fb = hw::build_bdds(mgr, exact);
+  hw::BddManager::Ref diff = hw::BddManager::kFalse;
+  for (std::size_t i = 0; i < fb.outputs[0].size(); ++i) {
+    const auto bit_a = i < fa.outputs[0].size() ? fa.outputs[0][i] : hw::BddManager::kFalse;
+    diff = mgr.bdd_or(diff, mgr.bdd_xor(bit_a, fb.outputs[0][i]));
+  }
+  const std::uint64_t differing = mgr.count_sat(diff, fa.num_vars);
+  std::printf("cALM differs from exact on %llu of 65536 input pairs (%.1f%% exact)\n",
+              static_cast<unsigned long long>(differing),
+              100.0 * (65536.0 - static_cast<double>(differing)) / 65536.0);
+  std::printf("BDD nodes used: %zu\n", mgr.node_count());
+  return 0;
+}

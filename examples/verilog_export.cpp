@@ -1,0 +1,60 @@
+// Export any multiplier design as synthesizable structural Verilog, with the
+// behavioral cell-model companion file — the bridge from this library's
+// netlists back to a real EDA flow.
+//
+//   $ ./verilog_export realm:m=16,t=4 out_dir
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "realm/realm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace realm;
+  const std::string spec = argc > 1 ? argv[1] : "realm:m=16,t=0";
+  const std::filesystem::path out_dir = argc > 2 ? argv[2] : "verilog_out";
+  std::filesystem::create_directories(out_dir);
+
+  const hw::Module mod = hw::build_circuit(spec, 16);
+  const auto netlist_path = out_dir / (mod.name() + ".v");
+  {
+    std::ofstream os{netlist_path};
+    os << hw::to_verilog(mod);
+  }
+  const auto cells_path = out_dir / "cells.v";
+  {
+    std::ofstream os{cells_path};
+    os << hw::verilog_cell_models();
+  }
+  const auto tb_path = out_dir / ("tb_" + mod.name() + ".v");
+  {
+    std::ofstream os{tb_path};
+    os << hw::to_verilog_testbench(mod, 128);
+  }
+
+  std::printf("design:   %s\n", spec.c_str());
+  std::printf("module:   %s\n", mod.name().c_str());
+  std::printf("gates:    %zu\n", mod.gates().size());
+  std::printf("area:     %.1f um^2 (45nm-class cells, pre-calibration)\n",
+              mod.area_um2());
+  const auto hist = mod.gate_histogram();
+  std::printf("cells:    ");
+  for (int k = 0; k < hw::kGateKindCount; ++k) {
+    if (hist[static_cast<std::size_t>(k)] > 0) {
+      std::printf("%s:%u ", hw::cell_spec(static_cast<hw::GateKind>(k)).name.data(),
+                  hist[static_cast<std::size_t>(k)]);
+    }
+  }
+  std::printf("\nwrote:    %s\n          %s\n          %s (self-checking, 128 vectors)\n",
+              netlist_path.c_str(), cells_path.c_str(), tb_path.c_str());
+  std::printf("simulate: iverilog -o sim %s %s %s && ./sim\n", cells_path.c_str(),
+              netlist_path.c_str(), tb_path.c_str());
+
+  // Sanity: simulate a vector so the user sees the netlist is live.
+  hw::Simulator sim{mod};
+  std::printf("sim:      25000 x 31000 -> %llu (exact 775000000)\n",
+              static_cast<unsigned long long>(sim.run({25000, 31000})));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Approximate log-based division.
+//
+// Mitchell's original paper (the REALM paper's ref [8]) covers *division* as
+// well as multiplication: lg(A/B) ≈ (k_a + x) - (k_b + y), followed by the
+// linear antilog.  The relative error is one-sided positive:
+//
+//   E~div = y(x-y)/(1+x)            for x >= y
+//   E~div = (y-x)(1-y)/(2(1+x))     for x <  y
+//
+// bounded by +1/8 (+12.5 %).  RealmDivider applies the REALM methodology to
+// this error surface — M×M per-segment factors s_ij that zero the mean
+// relative error per segment, quantized into a hardwired LUT and subtracted
+// before the final scaling.  This is the natural division counterpart of the
+// paper's contribution (the paper itself evaluates multiplication only).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace realm::core {
+
+/// Mitchell's divider error surface (>= 0 everywhere, sup +1/8).
+[[nodiscard]] double mitchell_division_error(double x, double y) noexcept;
+
+/// Per-segment correction factors for the divider, M×M row-major: the value
+/// s with zero mean relative error over the segment,
+/// s_ij = ∫∫ E~div dx dy / ∫∫ (1+y)/(1+x) dx dy  (evaluated by quadrature).
+[[nodiscard]] std::vector<double> division_factor_table(int m);
+
+class MitchellDivider {
+ public:
+  explicit MitchellDivider(int n = 16);
+
+  /// Approximate floor(a / b) for b != 0; returns the all-ones n-bit value
+  /// when b == 0 (saturating divide-by-zero policy), 0 when a == 0.
+  [[nodiscard]] std::uint64_t divide(std::uint64_t a, std::uint64_t b) const;
+
+  [[nodiscard]] int width() const noexcept { return n_; }
+  [[nodiscard]] std::string name() const { return "Mitchell divider"; }
+
+ private:
+  int n_;
+};
+
+struct RealmDividerConfig {
+  int n = 16;  ///< operand width
+  int m = 8;   ///< segments per interval, power of two >= 2
+  int q = 6;   ///< LUT quantization bits
+};
+
+class RealmDivider {
+ public:
+  explicit RealmDivider(RealmDividerConfig cfg);
+
+  /// Error-reduced approximate division (same conventions as
+  /// MitchellDivider::divide).
+  [[nodiscard]] std::uint64_t divide(std::uint64_t a, std::uint64_t b) const;
+
+  [[nodiscard]] int width() const noexcept { return cfg_.n; }
+  [[nodiscard]] const RealmDividerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::string name() const;
+
+  /// Quantized LUT entries (units of 2^-q), row-major.
+  [[nodiscard]] const std::vector<std::uint32_t>& lut_units() const noexcept {
+    return units_;
+  }
+
+ private:
+  RealmDividerConfig cfg_;
+  int select_bits_;
+  std::vector<std::uint32_t> units_;
+};
+
+}  // namespace realm::core

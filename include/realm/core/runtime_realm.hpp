@@ -1,0 +1,43 @@
+// Runtime-configurable REALM: dynamic accuracy scaling.
+//
+// The paper's two knobs (M, t) are design-time.  This extension makes the
+// truncation knob a *runtime* input: the datapath is built at full fraction
+// width and a masking stage forces the low t bits of each fraction to the
+// truncated-with-rounding pattern (zeros plus a forced 1 at bit t).  The
+// resulting arithmetic is bit-identical to the design-time REALM(t) whenever
+// the LUT alignment is unaffected (t <= n-2-q), so one circuit serves a
+// whole accuracy/power range: masked low bits stop toggling, cutting dynamic
+// power on demand.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "realm/core/realm_multiplier.hpp"
+
+namespace realm::core {
+
+class RuntimeRealmMultiplier {
+ public:
+  /// n/m/q as in RealmConfig; `t_levels` is the menu of runtime truncation
+  /// settings (each in [0, n-2-log2(M)]), selected by index in multiply().
+  RuntimeRealmMultiplier(int n, int m, int q, std::vector<int> t_levels);
+
+  /// Approximate product with truncation level `level` (index into the
+  /// constructor's t_levels menu).
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b,
+                                       std::size_t level) const;
+
+  [[nodiscard]] int width() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<int>& t_levels() const noexcept { return t_levels_; }
+  [[nodiscard]] const SegmentLut& lut() const noexcept { return lut_; }
+
+ private:
+  int n_;
+  int q_;
+  std::vector<int> t_levels_;
+  SegmentLut lut_;
+};
+
+}  // namespace realm::core

@@ -1,0 +1,31 @@
+// One fully-characterized design point of the Fig. 4 design space:
+// a multiplier configuration with its error metrics and calibrated
+// area/power reductions.
+
+#pragma once
+
+#include <string>
+
+#include "realm/error/metrics.hpp"
+#include "realm/hw/cost_model.hpp"
+
+namespace realm::dse {
+
+struct DesignPoint {
+  std::string spec;   ///< registry spec string
+  std::string name;   ///< display name from the behavioral model
+  err::ErrorMetrics error;
+  hw::DesignCost cost;
+  double area_reduction_pct = 0.0;
+  double power_reduction_pct = 0.0;
+
+  /// True if this is a REALM configuration (highlighted in Fig. 4).
+  [[nodiscard]] bool is_realm() const;
+
+  /// CSV row matching design_points_csv_header().
+  [[nodiscard]] std::string to_csv_row() const;
+};
+
+[[nodiscard]] std::string design_points_csv_header();
+
+}  // namespace realm::dse

@@ -1,0 +1,43 @@
+// Pareto-front extraction for the Fig. 4 design space (maximize resource
+// reduction, minimize error).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "realm/dse/design_point.hpp"
+
+namespace realm::dse {
+
+/// Generic 2-D front: returns indices of points not dominated under
+/// (maximize x, minimize y); ties kept.  Output sorted by ascending x.
+[[nodiscard]] std::vector<std::size_t> pareto_front_indices(
+    const std::vector<double>& x_maximize, const std::vector<double>& y_minimize);
+
+/// Objective selectors used by the Fig. 4 panels.
+enum class CostAxis { kAreaReduction, kPowerReduction };
+enum class ErrorAxis { kMeanError, kPeakError };
+
+/// Front over DesignPoints for a given panel; mirrors the paper's plot
+/// constraints by dropping points with mean error > 4 % (mean-error panels)
+/// or peak error > 15 % (peak-error panels) before computing the front.
+[[nodiscard]] std::vector<std::size_t> fig4_front(const std::vector<DesignPoint>& points,
+                                                  CostAxis cost, ErrorAxis error);
+
+/// Accuracy budget for design selection.
+struct ErrorBudget {
+  double max_mean_pct = 4.0;
+  double max_peak_pct = 15.0;
+  double max_abs_bias_pct = 100.0;  ///< optional bias cap (off by default)
+};
+
+/// Index of the point with the greatest cost reduction that satisfies the
+/// budget, or nullopt when nothing qualifies — "give me the cheapest design
+/// accurate enough for my application".
+[[nodiscard]] std::optional<std::size_t> best_under_budget(
+    const std::vector<DesignPoint>& points, const ErrorBudget& budget, CostAxis cost);
+
+}  // namespace realm::dse

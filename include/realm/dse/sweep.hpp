@@ -1,0 +1,26 @@
+// Full design-space sweep: error characterization plus calibrated synthesis
+// cost for a list of design specs — the engine behind Table I and Fig. 4.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "realm/dse/design_point.hpp"
+#include "realm/error/monte_carlo.hpp"
+#include "realm/hw/cost_model.hpp"
+
+namespace realm::dse {
+
+struct SweepOptions {
+  int n = 16;
+  err::MonteCarloOptions monte_carlo;
+  hw::StimulusProfile stimulus;
+  bool verbose = false;  ///< print one progress line per design to stderr
+};
+
+/// Characterizes every spec.  The cost model is calibrated once and shared.
+[[nodiscard]] std::vector<DesignPoint> run_sweep(const std::vector<std::string>& specs,
+                                                 const SweepOptions& opts = {});
+
+}  // namespace realm::dse

@@ -1,0 +1,35 @@
+// Fixed-point image filtering with a pluggable multiplier — additional
+// error-resilient applications of the kind the paper's introduction
+// motivates (multimedia processing) beyond the JPEG study of §IV-D.
+//
+// Kernels are quantized to Q(frac_bits) signed fixed point; every
+// coefficient×pixel product goes through the multiplier under test via the
+// sign-magnitude scheme (num::signed_mul).
+
+#pragma once
+
+#include <vector>
+
+#include "realm/jpeg/image.hpp"
+#include "realm/numeric/fixed_point.hpp"
+
+namespace realm::dsp {
+
+/// Normalized 2-D Gaussian kernel, size×size taps (size odd).
+[[nodiscard]] std::vector<double> gaussian_kernel(int size, double sigma);
+
+/// 2-D convolution with replicate border handling.  `kernel` is size×size
+/// row-major real coefficients, quantized internally to Q(frac_bits).
+[[nodiscard]] jpeg::Image convolve(const jpeg::Image& img,
+                                   const std::vector<double>& kernel, int size,
+                                   const num::UMulFn& umul, int frac_bits = 10);
+
+/// Gaussian blur through the multiplier under test.
+[[nodiscard]] jpeg::Image gaussian_blur(const jpeg::Image& img, double sigma,
+                                        const num::UMulFn& umul);
+
+/// Sobel gradient magnitude (|Gx| + |Gy|, clamped to 8 bits); the gradient
+/// products go through the multiplier under test.
+[[nodiscard]] jpeg::Image sobel(const jpeg::Image& img, const num::UMulFn& umul);
+
+}  // namespace realm::dsp

@@ -1,0 +1,42 @@
+// Fixed-range histogram used for the Fig. 5 relative-error distributions.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace realm::err {
+
+class Histogram {
+ public:
+  /// bins equal-width buckets spanning [lo, hi); samples outside the range
+  /// land in saturating under/overflow buckets.
+  Histogram(double lo, double hi, int bins);
+
+  void add(double v) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] int bins() const noexcept { return static_cast<int>(counts_.size()); }
+  [[nodiscard]] std::uint64_t count(int bin) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Center value of a bin.
+  [[nodiscard]] double center(int bin) const;
+
+  /// Fraction of samples in a bin (0 if empty histogram).
+  [[nodiscard]] double density(int bin) const;
+
+  /// CSV rows "center,count,density\n" for plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace realm::err

@@ -1,0 +1,62 @@
+// Error metrics for approximate-multiplier characterization (paper §IV-B).
+//
+// All metrics are statistics of the *relative* error
+//   e = (approx - exact) / exact,
+// reported in percent, over input pairs with exact != 0:
+//
+//   error bias  — mean of e                    [3]
+//   mean error  — mean of |e| (aka MRED)       [4], [2]
+//   variance    — variance of e                [3]
+//   peak errors — min(e) and max(e)            [4]
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace realm::err {
+
+/// Final metric values, in percent (matching Table I's units).
+struct ErrorMetrics {
+  double bias = 0.0;      ///< mean relative error
+  double mean = 0.0;      ///< mean absolute relative error (MRED)
+  double variance = 0.0;  ///< variance of relative error
+  double min = 0.0;       ///< most negative relative error
+  double max = 0.0;       ///< most positive relative error
+  std::uint64_t samples = 0;
+
+  /// max(|min|, |max|) — the scalar "peak error" used in Fig. 4.
+  [[nodiscard]] double peak() const noexcept;
+
+  /// One-line summary, e.g. for logging: "bias=+0.01 mean=0.42 ...".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Streaming accumulator — numerically stable (Welford) so 2^24-sample runs
+/// do not lose precision in the variance.
+class ErrorAccumulator {
+ public:
+  /// Record one relative error (as a fraction, not percent).
+  void add(double rel_error) noexcept;
+
+  /// Record an (approx, exact) pair; pairs with exact == 0 are skipped, as
+  /// in the paper's setup (relative error is undefined there).
+  void add_pair(double approx, double exact) noexcept;
+
+  /// Merge another accumulator (for sharded Monte-Carlo runs).
+  void merge(const ErrorAccumulator& other) noexcept;
+
+  [[nodiscard]] ErrorMetrics metrics() const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;    // running mean of e
+  double m2_ = 0.0;      // running Σ(e - mean)²
+  double abs_sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace realm::err

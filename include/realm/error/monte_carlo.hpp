@@ -1,0 +1,43 @@
+// Monte-Carlo and exhaustive error characterization engines.
+//
+// The paper characterizes every 16-bit design with 2^24 input pairs drawn
+// uniformly from {0, ..., 2^16-1} (§IV-B).  For widths up to ~10 bits the
+// full input cross-product is cheaper than sampling, so an exhaustive engine
+// is provided as well (and used by the tests to pin down exact peak errors).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "realm/error/histogram.hpp"
+#include "realm/error/metrics.hpp"
+#include "realm/multiplier.hpp"
+
+namespace realm::err {
+
+struct MonteCarloOptions {
+  std::uint64_t samples = std::uint64_t{1} << 24;  ///< paper default
+  std::uint64_t seed = 0x5eed5eed5eed5eedULL;
+  int threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Uniform-input Monte-Carlo characterization of `design` against the exact
+/// product.  Deterministic for a fixed (samples, seed, threads=any): each
+/// shard derives its own seed, and shards are merged in index order.
+[[nodiscard]] ErrorMetrics monte_carlo(const Multiplier& design,
+                                       const MonteCarloOptions& opts = {});
+
+/// Same run, but also fills `hist` (if non-null) with the relative errors
+/// in percent.  Single-threaded variant used by the distribution bench.
+[[nodiscard]] ErrorMetrics monte_carlo_histogram(const Multiplier& design,
+                                                 Histogram* hist,
+                                                 const MonteCarloOptions& opts = {});
+
+/// Exhaustive sweep over all (a, b) pairs with a, b in [lo, hi] (defaults to
+/// the full width() range).  Cost is (hi-lo+1)² multiplies.
+[[nodiscard]] ErrorMetrics exhaustive(const Multiplier& design,
+                                      std::optional<std::uint64_t> lo = {},
+                                      std::optional<std::uint64_t> hi = {});
+
+}  // namespace realm::err

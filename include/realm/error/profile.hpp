@@ -1,0 +1,46 @@
+// Error-profile generators for Fig. 1 (relative error over an operand grid)
+// and Fig. 2 (per-segment error view of the power-of-two partitioning).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "realm/multiplier.hpp"
+
+namespace realm::err {
+
+/// One grid point of a relative-error profile.
+struct ProfilePoint {
+  std::uint64_t a;
+  std::uint64_t b;
+  double rel_error_pct;
+};
+
+/// Relative error of `design` for all (a, b) in [lo, hi]² — the data behind
+/// Fig. 1, which plots {32..255}².
+[[nodiscard]] std::vector<ProfilePoint> error_profile(const Multiplier& design,
+                                                      std::uint64_t lo,
+                                                      std::uint64_t hi);
+
+/// CSV dump: "a,b,rel_error_pct\n" rows.
+[[nodiscard]] std::string profile_to_csv(const std::vector<ProfilePoint>& points);
+
+/// Per-segment aggregate over one power-of-two-interval (Fig. 2's view):
+/// mean relative error of `design` within each of the M×M (i, j) segments
+/// for operands in [2^ka, 2^(ka+1)) × [2^kb, 2^(kb+1)).
+struct SegmentStat {
+  int i, j;
+  double mean_rel_error_pct;
+  double min_rel_error_pct;
+  double max_rel_error_pct;
+  std::uint64_t samples;
+};
+
+[[nodiscard]] std::vector<SegmentStat> segment_error_map(const Multiplier& design,
+                                                         int m, int ka, int kb);
+
+[[nodiscard]] std::string segments_to_csv(const std::vector<SegmentStat>& stats);
+
+}  // namespace realm::err

@@ -1,0 +1,26 @@
+// Rendering error data as images — the actual pictures behind Fig. 1
+// (relative-error surfaces) and Fig. 2 (segment views), as portable PGM/PPM
+// files that any viewer opens.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "realm/error/profile.hpp"
+#include "realm/jpeg/image.hpp"
+
+namespace realm::err {
+
+/// Renders a rectangular error profile (as produced by error_profile()) into
+/// a grayscale heat map: mid-gray = 0 error, white = +scale_pct, black =
+/// -scale_pct (clamped).  The profile must cover a full [lo, hi]² grid.
+[[nodiscard]] jpeg::Image render_profile_heatmap(const std::vector<ProfilePoint>& points,
+                                                 double scale_pct);
+
+/// Binary PPM (P6) writer with a blue-white-red diverging colormap for the
+/// same data — negative errors blue, positive red, zero white.
+void write_profile_ppm(const std::vector<ProfilePoint>& points, double scale_pct,
+                       const std::string& path);
+
+}  // namespace realm::err

@@ -1,0 +1,43 @@
+// Approximate IEEE-754 binary32 multiplication with a pluggable integer
+// mantissa multiplier.
+//
+// The approximate-FP direction the paper cites (§II: MBM's FP variants [4],
+// ApproxLP [11]) builds FP multipliers by swapping the exact 24×24 mantissa
+// multiplier for an approximate one; exponents add exactly, so the FP
+// relative error equals the mantissa multiplier's relative error.  This
+// module provides that construction over any realm::Multiplier of width 24
+// (REALM24, DRUM, cALM, ...).
+//
+// Simplifications, standard in this literature and documented here:
+// subnormal inputs/outputs flush to zero; the normalized mantissa product is
+// truncated rather than round-to-nearest-even (a hardware truncation, <= 1
+// ulp additional error); NaN payloads are canonicalized.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "realm/multiplier.hpp"
+
+namespace realm::fp {
+
+class ApproxFloatMultiplier {
+ public:
+  /// The core must have width() == 24 (the binary32 significand width).
+  explicit ApproxFloatMultiplier(std::unique_ptr<Multiplier> mantissa_core);
+
+  /// Registry convenience: builds the spec at n = 24.
+  [[nodiscard]] static ApproxFloatMultiplier from_spec(const std::string& spec);
+
+  [[nodiscard]] float multiply(float a, float b) const;
+
+  [[nodiscard]] const Multiplier& mantissa_core() const noexcept { return *core_; }
+  [[nodiscard]] std::string name() const { return "FP32[" + core_->name() + "]"; }
+
+ private:
+  std::unique_ptr<Multiplier> core_;
+};
+
+}  // namespace realm::fp

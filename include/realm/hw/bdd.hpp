@@ -1,0 +1,92 @@
+// Reduced ordered binary decision diagrams (ROBDDs) and formal equivalence
+// checking of netlists.
+//
+// Random and structured simulation (test_circuits.cpp) gives high confidence;
+// BDDs give *proofs*: two combinational modules are equivalent iff their
+// output functions reduce to the same canonical node.  The engine implements
+// the classic unique-table + memoized ITE construction with an interleaved
+// default variable order (sound for the adder/shifter/mux structures in this
+// library; multiplier outputs are famously BDD-hard, so keep widths modest
+// and rely on the node limit).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "realm/hw/netlist.hpp"
+
+namespace realm::hw {
+
+class BddManager {
+ public:
+  using Ref = std::uint32_t;
+  static constexpr Ref kFalse = 0;
+  static constexpr Ref kTrue = 1;
+
+  /// Throws std::runtime_error("BDD node limit") when construction exceeds
+  /// `node_limit` nodes — the caller's signal that the function is too hard
+  /// for this variable order.
+  explicit BddManager(std::size_t node_limit = 2'000'000);
+
+  /// The projection function of variable `index` (0-based order position).
+  [[nodiscard]] Ref var(int index);
+
+  /// If-then-else — the universal connective; all gates reduce to it.
+  [[nodiscard]] Ref ite(Ref f, Ref g, Ref h);
+
+  [[nodiscard]] Ref bdd_not(Ref f) { return ite(f, kFalse, kTrue); }
+  [[nodiscard]] Ref bdd_and(Ref f, Ref g) { return ite(f, g, kFalse); }
+  [[nodiscard]] Ref bdd_or(Ref f, Ref g) { return ite(f, kTrue, g); }
+  [[nodiscard]] Ref bdd_xor(Ref f, Ref g) { return ite(f, bdd_not(g), g); }
+
+  /// Total live nodes (including the two terminals).
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Evaluate under a full variable assignment.
+  [[nodiscard]] bool eval(Ref f, const std::vector<bool>& assignment) const;
+
+  /// Number of satisfying assignments over `num_vars` variables.
+  [[nodiscard]] std::uint64_t count_sat(Ref f, int num_vars) const;
+
+  /// Any satisfying assignment (nullopt iff f == false).
+  [[nodiscard]] std::optional<std::vector<bool>> any_sat(Ref f, int num_vars) const;
+
+ private:
+  struct Node {
+    int var;  // INT_MAX for terminals
+    Ref lo, hi;
+  };
+  Ref make(int var, Ref lo, Ref hi);
+  [[nodiscard]] int var_of(Ref f) const noexcept { return nodes_[f].var; }
+
+  std::size_t node_limit_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, Ref> unique_;
+  std::unordered_map<std::uint64_t, Ref> ite_memo_;
+};
+
+/// BDDs for every output bit of `module` (outer index = output port, inner =
+/// bit).  Variables are the input bits in an interleaved order (bit 0 of
+/// every port, then bit 1, ...), which keeps arithmetic functions compact.
+/// `var_of_input(port, bit)` in the returned struct reports the order used.
+struct ModuleBdds {
+  std::vector<std::vector<BddManager::Ref>> outputs;
+  std::vector<std::vector<int>> var_of_input;  // [port][bit] -> variable index
+  int num_vars = 0;
+};
+[[nodiscard]] ModuleBdds build_bdds(BddManager& mgr, const Module& module);
+
+/// Formal combinational equivalence.  Modules must have identical input port
+/// widths; output buses are compared bit-by-bit up to the shorter width,
+/// with any extra bits required to be constant 0.
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// When inequivalent: a distinguishing input assignment per port.
+  std::vector<std::uint64_t> counterexample;
+};
+[[nodiscard]] EquivalenceResult check_equivalence(const Module& a, const Module& b,
+                                                  std::size_t node_limit = 2'000'000);
+
+}  // namespace realm::hw

@@ -1,0 +1,102 @@
+// Gate-level circuit builders for every design of Table I.
+//
+// Each builder returns a self-contained combinational Module with input
+// ports "a", "b" (N bits each) and output port "p".  The netlists are
+// simulated (hw/simulator.hpp) to cross-validate against the behavioral
+// models bit-for-bit, costed for area (netlist.hpp) and power (power.hpp),
+// and can be emitted as structural Verilog (verilog.hpp).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "realm/core/realm_multiplier.hpp"
+#include "realm/hw/components.hpp"
+#include "realm/hw/netlist.hpp"
+#include "realm/multipliers/alm.hpp"
+#include "realm/multipliers/am.hpp"
+
+namespace realm::hw {
+
+/// Exact Wallace-tree multiplier — the paper's accurate reference design.
+[[nodiscard]] Module build_accurate(int n);
+
+/// Exact array multiplier (row-by-row ripple accumulation) — smaller cells,
+/// much longer critical path; an architecture ablation for the reference.
+[[nodiscard]] Module build_accurate_array(int n);
+
+/// Exact radix-4 Booth-recoded multiplier with Wallace reduction — halves
+/// the partial-product count, the common high-performance choice.
+[[nodiscard]] Module build_accurate_booth(int n);
+
+/// Options shared by the Mitchell-derived log multipliers.
+struct LogMultOptions {
+  int n = 16;
+  int t = 0;            ///< truncated fraction LSBs
+  bool forced_one = false;  ///< MBM/REALM rounding bit on the kept LSB
+  bool mbm_correction = false;  ///< add the quantized 1/12 correction
+  int q = 6;            ///< correction quantization bits
+  int approx_adder_bits = 0;    ///< m — approximate low bits of the fraction adder
+  mult::AlmAdder approx_adder = mult::AlmAdder::kSetOne;  ///< when m > 0
+  /// Architecture of the exact fraction adder (ablation: ripple is what the
+  /// area numbers assume; Kogge-Stone is what a 1 GHz flow would infer).
+  AdderArch fraction_adder = AdderArch::kRipple;
+};
+
+/// cALM (defaults), MBM (mbm_correction + forced_one), ALM-SOA/ALM-MAA
+/// (approx_adder_bits > 0).
+[[nodiscard]] Module build_log_multiplier(const LogMultOptions& opts);
+
+/// REALM (paper Fig. 3), including the hardwired constant LUT.
+[[nodiscard]] Module build_realm(const core::RealmConfig& cfg);
+
+/// Runtime-configurable REALM (dynamic accuracy scaling): a full-width
+/// datapath plus a mode input selecting among `t_levels` truncation settings
+/// via a fraction-masking stage.  Matches core::RuntimeRealmMultiplier.
+[[nodiscard]] Module build_realm_runtime(int n, int m_segments, int q,
+                                         const std::vector<int>& t_levels);
+
+/// Two-stage pipelined REALM: stage 1 (LOD, normalization, fraction and
+/// characteristic adders) is separated from stage 2 (LUT, correction add,
+/// final scaling) by a register bank.  Latency one cycle, initiation
+/// interval one; the paper's designs are single-cycle, so this is the
+/// natural frequency-scaling extension.
+[[nodiscard]] Module build_realm_pipelined(const core::RealmConfig& cfg);
+
+/// ImpLM with nearest-one detector and exact adder.
+[[nodiscard]] Module build_implm(int n);
+
+/// DRUM with k-bit dynamic fragments.
+[[nodiscard]] Module build_drum(int n, int k);
+
+/// SSM with m-bit static segments; ESSM with the extra mid segment.
+[[nodiscard]] Module build_ssm(int n, int m);
+[[nodiscard]] Module build_essm(int n, int m);
+
+/// AM1/AM2 with nb recovered columns.
+[[nodiscard]] Module build_am(int n, int nb, mult::AmVariant variant);
+
+/// IntALP level 1 or 2.
+[[nodiscard]] Module build_intalp(int n, int level);
+
+/// UDM (recursive Kulkarni 2×2 blocks) — N a power of two.
+[[nodiscard]] Module build_udm(int n);
+
+/// Constant-correction truncated multiplier.
+[[nodiscard]] Module build_truncated(int n, int drop);
+
+/// Spec-string dispatch mirroring mult::make_multiplier(), so error and
+/// synthesis benches iterate the same design set.  The returned module is
+/// pruned (dead gates removed).
+[[nodiscard]] Module build_circuit(const std::string& spec, int n = 16);
+
+/// Same dispatch without the final prune (for netlist-construction tests).
+[[nodiscard]] Module build_circuit_unpruned(const std::string& spec, int n = 16);
+
+/// Two's-complement signed wrapper around any unsigned design (§III-C):
+/// conditional-negate front end, unsigned core, conditional-negate back end.
+/// Output is one bit wider than the core's product bus.
+[[nodiscard]] Module build_signed_circuit(const std::string& spec, int n = 16);
+
+}  // namespace realm::hw

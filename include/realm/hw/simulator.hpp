@@ -1,0 +1,119 @@
+// Single-pass combinational simulator with toggle counting.
+//
+// Because Module guarantees gates appear in topological order, evaluation is
+// one linear sweep.  The simulator keeps the previous net values and counts
+// output toggles per gate, which feeds the activity-based power model.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "realm/hw/netlist.hpp"
+
+namespace realm::hw {
+
+class Simulator {
+ public:
+  explicit Simulator(const Module& module);
+
+  /// Drives input port `index` (in declaration order) with `value`.
+  void set_input(std::size_t index, std::uint64_t value);
+
+  /// Re-evaluates all gates; updates toggle counters (except on the very
+  /// first evaluation, which has no predecessor state).
+  void eval();
+
+  /// Value of output port `index` (declaration order), LSB first.
+  [[nodiscard]] std::uint64_t output(std::size_t index) const;
+
+  /// Value of an arbitrary bus.
+  [[nodiscard]] std::uint64_t read(const Bus& bus) const;
+
+  /// Convenience: drive all inputs, eval, read output 0.
+  [[nodiscard]] std::uint64_t run(const std::vector<std::uint64_t>& input_values);
+
+  /// Toggle count of gate g's output since construction / reset.
+  [[nodiscard]] std::uint64_t toggles(std::size_t gate_index) const;
+
+  /// Number of eval() calls that contributed to toggle counts.
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+
+  void reset_activity();
+
+ private:
+  const Module* module_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint64_t> toggle_counts_;
+  std::uint64_t cycles_ = 0;
+  bool primed_ = false;
+};
+
+/// Clocked simulator for sequential modules (registers via
+/// Module::add_register).  Each step() evaluates the combinational cloud
+/// against the current register state, then clocks all registers
+/// simultaneously.  Registers reset to 0.
+class SequentialSimulator {
+ public:
+  explicit SequentialSimulator(const Module& module);
+
+  void set_input(std::size_t index, std::uint64_t value);
+
+  /// One clock cycle: combinational settle + register update.
+  void step();
+
+  /// Combinational settle only (to observe Mealy outputs before the edge).
+  void settle_combinational();
+
+  [[nodiscard]] std::uint64_t output(std::size_t index) const;
+  [[nodiscard]] std::uint64_t read(const Bus& bus) const;
+
+  /// Clears register state back to 0.
+  void reset();
+
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+
+ private:
+  const Module* module_;
+  std::vector<std::uint8_t> values_;
+  std::uint64_t cycles_ = 0;
+};
+
+/// Unit-delay event-driven simulator.
+///
+/// Every gate has one unit of delay, so transient hazards (glitches)
+/// propagate and are counted — the dominant power term in deep structures
+/// like Wallace trees.  Used by the power model; the zero-delay Simulator
+/// above remains the tool for functional validation.
+class TimedSimulator {
+ public:
+  explicit TimedSimulator(const Module& module);
+
+  void set_input(std::size_t index, std::uint64_t value);
+
+  /// Propagates to quiescence, counting every output transition of every
+  /// gate (glitches included).  The first call primes state silently.
+  void settle();
+
+  [[nodiscard]] std::uint64_t output(std::size_t index) const;
+
+  /// Total counted transitions of gate g's output.
+  [[nodiscard]] std::uint64_t transitions(std::size_t gate_index) const;
+
+  /// Number of settle() calls that contributed to the counts.
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+
+ private:
+  std::uint8_t eval_gate(const Gate& g) const;
+
+  const Module* module_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint64_t> transition_counts_;
+  std::vector<std::vector<std::uint32_t>> fanout_;  // net -> gate indices
+  std::vector<std::uint32_t> dirty_gates_;          // scratch
+  std::vector<std::uint8_t> gate_marked_;           // scratch
+  std::uint64_t cycles_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace realm::hw

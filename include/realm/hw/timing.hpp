@@ -1,0 +1,26 @@
+// Static timing analysis (topological longest path).
+//
+// The paper constrains synthesis to 1 GHz; our substitute does not perform
+// timing-driven sizing, but the unsized critical path is still a useful
+// relative metric (e.g. the log designs' LOD→shift→add→shift chain vs the
+// Wallace tree's compressor depth) and feeds the extended synthesis report.
+
+#pragma once
+
+#include <vector>
+
+#include "realm/hw/netlist.hpp"
+
+namespace realm::hw {
+
+struct TimingReport {
+  double critical_path_ps = 0.0;  ///< longest input→output delay
+  int logic_depth = 0;            ///< gates on the critical path
+  /// Gate indices on the critical path, input side first.
+  std::vector<std::size_t> path;
+};
+
+/// Longest-path analysis over the (acyclic, topologically ordered) netlist.
+[[nodiscard]] TimingReport analyze_timing(const Module& module);
+
+}  // namespace realm::hw

@@ -1,0 +1,32 @@
+// Structural Verilog emission.
+//
+// The paper implements all designs in Verilog HDL for synthesis; our
+// circuits live as C++ netlists, and this module writes them back out as
+// synthesizable structural Verilog (one cell instance per gate, cell names
+// from the 45 nm-class library) so the designs can be taken to a real flow.
+
+#pragma once
+
+#include <string>
+
+#include "realm/hw/netlist.hpp"
+
+namespace realm::hw {
+
+/// Structural Verilog for `module` (cell instances + port assigns).
+[[nodiscard]] std::string to_verilog(const Module& module);
+
+/// Behavioral cell-library companion: `module NAND2_X1(...) ... endmodule`
+/// definitions for every cell the emitter can reference, so the emitted
+/// netlists simulate stand-alone.
+[[nodiscard]] std::string verilog_cell_models();
+
+/// Self-checking testbench: drives `vectors` random input vectors (seeded,
+/// reproducible), with expected outputs precomputed by our simulator baked
+/// into the file.  Any mismatch $fatal's; success prints one summary line.
+/// Concatenate with to_verilog(module) + verilog_cell_models() and run under
+/// any Verilog simulator.
+[[nodiscard]] std::string to_verilog_testbench(const Module& module, int vectors = 64,
+                                               std::uint64_t seed = 0x7b5eed);
+
+}  // namespace realm::hw

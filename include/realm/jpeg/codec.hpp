@@ -1,0 +1,76 @@
+// Grayscale JPEG-style codec with a pluggable integer multiplier
+// (paper §IV-D: JPEG at quality 50 in 16-bit fixed point).
+//
+// Pipeline per 8×8 block: level shift → fixed-point FDCT → quantize →
+// zigzag + RLE → canonical Huffman.  Decoding mirrors it; dequantization and
+// the IDCT go through the same multiplier.  The bitstream is this library's
+// own compact format (header with dimensions, quality, and Huffman code
+// lengths), not JFIF — the paper's metric (PSNR vs the uncompressed image)
+// only needs a faithful lossy pipeline.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "realm/jpeg/image.hpp"
+#include "realm/numeric/fixed_point.hpp"
+
+namespace realm::jpeg {
+
+struct CodecOptions {
+  int quality = 50;
+  num::UMulFn umul;  ///< multiplier for the DCT/IDCT datapath; empty = exact
+  /// Route dequantization through `umul` as well.  Off by default: the
+  /// dequantizer multiplies by one of 64 *known constants*, which hardware
+  /// implements as shift-add constant multipliers — the design under test
+  /// replaces the general-purpose MAC multipliers of the transform.  (The
+  /// JPEG ablation bench exercises both settings; the frequent power-of-two
+  /// quantizer constants otherwise excite the log-multipliers' x = 0 ridge
+  /// coherently across stages.)
+  bool approximate_dequant = false;
+};
+
+struct Compressed {
+  int width = 0;
+  int height = 0;
+  int quality = 50;
+  std::vector<std::uint8_t> payload;          ///< entropy-coded blocks
+  std::vector<std::uint8_t> dc_code_lengths;  ///< canonical Huffman header
+  std::vector<std::uint8_t> ac_code_lengths;
+
+  /// Total compressed size in bytes (payload + header tables).
+  [[nodiscard]] std::size_t size_bytes() const noexcept;
+};
+
+/// Compresses `img` (dimensions must be multiples of 8).
+[[nodiscard]] Compressed encode(const Image& img, const CodecOptions& opts);
+
+/// Reconstructs an image; uses the same multiplier options for the IDCT.
+[[nodiscard]] Image decode(const Compressed& c, const CodecOptions& opts);
+
+/// encode + decode in one call — what the Table II evaluation runs.
+[[nodiscard]] Image roundtrip(const Image& img, const CodecOptions& opts);
+
+/// Single-blob bitstream: magic + dimensions + quality + Huffman code
+/// lengths + payload, so compressed images survive a trip through a file.
+/// (This library's own container, not JFIF — see the header comment.)
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Compressed& c);
+[[nodiscard]] Compressed deserialize(const std::vector<std::uint8_t>& blob);
+
+/// File convenience wrappers around serialize/deserialize.
+void write_compressed(const Compressed& c, const std::string& path);
+[[nodiscard]] Compressed read_compressed(const std::string& path);
+
+/// Plane-level API (used by the color extension): same pipeline with an
+/// explicit quantization table instead of the quality-scaled luminance one.
+[[nodiscard]] Compressed encode_plane(const Image& img,
+                                      const std::array<std::uint16_t, 64>& qtable,
+                                      const CodecOptions& opts);
+[[nodiscard]] Image decode_plane(const Compressed& c,
+                                 const std::array<std::uint16_t, 64>& qtable,
+                                 const CodecOptions& opts);
+
+}  // namespace realm::jpeg

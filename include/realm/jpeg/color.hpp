@@ -1,0 +1,82 @@
+// Color (YCbCr 4:2:0) extension of the JPEG substrate.
+//
+// The paper's Table II uses grayscale images; a complete codec handles
+// color: BT.601 RGB↔YCbCr conversion in fixed point, 2×2 chroma
+// subsampling, the standard chrominance quantization table, and three
+// independently entropy-coded planes.  The DCT datapath (and therefore the
+// multiplier under test) is shared with the grayscale path.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "realm/jpeg/codec.hpp"
+#include "realm/jpeg/image.hpp"
+
+namespace realm::jpeg {
+
+/// Interleaved 8-bit RGB image.
+class ColorImage {
+ public:
+  ColorImage() = default;
+  ColorImage(int width, int height);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  [[nodiscard]] std::array<std::uint8_t, 3> at(int x, int y) const;
+  void set(int x, int y, std::uint8_t r, std::uint8_t g, std::uint8_t b);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept {
+    return pixels_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;  // RGB interleaved
+};
+
+/// Binary PPM (P6) I/O.
+void write_ppm(const ColorImage& img, const std::string& path);
+[[nodiscard]] ColorImage read_ppm(const std::string& path);
+
+/// BT.601 full-range conversion (fixed-point, exact integer round-trip
+/// within ±2 per channel).
+struct YCbCrPlanes {
+  Image y;   ///< full resolution
+  Image cb;  ///< half resolution (4:2:0)
+  Image cr;  ///< half resolution
+};
+[[nodiscard]] YCbCrPlanes rgb_to_ycbcr420(const ColorImage& img);
+[[nodiscard]] ColorImage ycbcr420_to_rgb(const YCbCrPlanes& planes);
+
+/// Standard JPEG chrominance quantization table, quality-scaled.
+[[nodiscard]] const std::array<std::uint16_t, 64>& base_chrominance_table();
+[[nodiscard]] std::array<std::uint16_t, 64> scaled_chroma_table(int quality);
+
+/// Three-plane compressed representation.
+struct CompressedColor {
+  Compressed y, cb, cr;
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return y.size_bytes() + cb.size_bytes() + cr.size_bytes();
+  }
+};
+
+/// Color encode/decode; dimensions must be multiples of 16 (8×8 blocks on
+/// the subsampled chroma planes).
+[[nodiscard]] CompressedColor encode_color(const ColorImage& img,
+                                           const CodecOptions& opts);
+[[nodiscard]] ColorImage decode_color(const CompressedColor& c, const CodecOptions& opts);
+[[nodiscard]] ColorImage roundtrip_color(const ColorImage& img, const CodecOptions& opts);
+
+/// Mean PSNR over the three RGB channels.
+[[nodiscard]] double psnr_color(const ColorImage& a, const ColorImage& b);
+
+/// Deterministic synthetic color scene (colorized livingroom).
+[[nodiscard]] ColorImage synthetic_color_scene(int size = 256);
+
+}  // namespace realm::jpeg

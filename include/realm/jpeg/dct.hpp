@@ -1,0 +1,38 @@
+// Fixed-point 8×8 DCT-II / IDCT with a pluggable integer multiplier.
+//
+// The paper implements JPEG "in 16-bit fixed-point arithmetic, using
+// accurate and approximate multipliers" (§IV-D).  We realize the 2-D DCT as
+// two matrix passes F = C·X·Cᵀ with the cosine coefficients quantized to
+// Q12 (so coefficient magnitudes < 2^12 and pixel-domain operands < 2^11 —
+// every product the datapath issues fits the 16-bit multipliers under test).
+// Sign handling follows the unsigned-multiplier sign-magnitude scheme of
+// num::signed_mul.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "realm/numeric/fixed_point.hpp"
+
+namespace realm::jpeg {
+
+/// Fraction bits of the DCT coefficient matrix.
+inline constexpr int kDctCoeffBits = 12;
+
+/// Forward 2-D DCT of a level-shifted 8×8 block (inputs in [-128, 127]),
+/// producing coefficients in natural (pre-quantization) scale.
+/// Every multiplication goes through `umul`.
+void fdct8x8(const std::array<std::int16_t, 64>& block, std::array<std::int16_t, 64>& out,
+             const num::UMulFn& umul);
+
+/// Inverse 2-D DCT; output is level-shifted pixel domain (clamp to
+/// [-128, 127] is the caller's job when reconstructing).
+void idct8x8(const std::array<std::int16_t, 64>& coeffs,
+             std::array<std::int16_t, 64>& out, const num::UMulFn& umul);
+
+/// The Q12 coefficient matrix row-major (c[u][k] = s(u)·cos((2k+1)uπ/16)),
+/// exposed for tests.
+[[nodiscard]] const std::array<std::int16_t, 64>& dct_matrix_q12();
+
+}  // namespace realm::jpeg

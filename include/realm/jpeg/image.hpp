@@ -1,0 +1,42 @@
+// 8-bit grayscale images with PGM I/O — the substrate of the paper's
+// application-level (JPEG, Table II) evaluation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace realm::jpeg {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, std::uint8_t fill = 0);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const;
+  void set(int x, int y, std::uint8_t v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept {
+    return pixels_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t>& pixels() noexcept { return pixels_; }
+
+  [[nodiscard]] bool empty() const noexcept { return pixels_.empty(); }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Writes a binary PGM (P5).  Throws std::runtime_error on I/O failure.
+void write_pgm(const Image& img, const std::string& path);
+
+/// Reads a binary PGM (P5).  Throws std::runtime_error on parse failure.
+[[nodiscard]] Image read_pgm(const std::string& path);
+
+}  // namespace realm::jpeg

@@ -1,0 +1,16 @@
+// Image quality metrics for Table II: PSNR (dB) of the reconstructed image
+// against the uncompressed original.
+
+#pragma once
+
+#include "realm/jpeg/image.hpp"
+
+namespace realm::jpeg {
+
+/// Mean squared error over all pixels; images must match in size.
+[[nodiscard]] double mse(const Image& a, const Image& b);
+
+/// PSNR in dB for 8-bit images: 10·log10(255² / MSE); +inf when identical.
+[[nodiscard]] double psnr(const Image& a, const Image& b);
+
+}  // namespace realm::jpeg

@@ -1,0 +1,35 @@
+// JPEG quantization: the standard (Annex K) luminance table scaled by the
+// libjpeg quality convention; quality 50 uses the table verbatim, matching
+// the paper's setup.
+//
+// Quantization divides by the table entry (exact integer division with
+// rounding — a constant divider in hardware); *de*quantization multiplies by
+// the entry and is routed through the multiplier under test.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "realm/numeric/fixed_point.hpp"
+
+namespace realm::jpeg {
+
+/// Standard JPEG luminance quantization matrix (zigzag-free, row-major).
+[[nodiscard]] const std::array<std::uint16_t, 64>& base_luminance_table();
+
+/// Quality-scaled table per the libjpeg convention (quality in [1, 100]).
+[[nodiscard]] std::array<std::uint16_t, 64> scaled_table(int quality);
+
+/// Divide-with-rounding quantizer.
+[[nodiscard]] std::int16_t quantize(std::int32_t coeff, std::uint16_t q) noexcept;
+
+/// Dequantize through the (possibly approximate) multiplier.
+[[nodiscard]] std::int32_t dequantize(std::int16_t level, std::uint16_t q,
+                                      const num::UMulFn& umul);
+
+/// Zigzag scan order: zigzag_order()[i] is the row-major index of the i-th
+/// zigzag position.
+[[nodiscard]] const std::array<int, 64>& zigzag_order();
+
+}  // namespace realm::jpeg

@@ -1,0 +1,32 @@
+// Deterministic synthetic test scenes.
+//
+// The paper evaluates on cameraman / lena / livingroom, which are not
+// redistributable; these generators produce 512×512 grayscale scenes with
+// matched characteristics (smooth gradients, hard edges, stochastic
+// texture) from fixed seeds.  PSNR *differences between multipliers* — the
+// quantity Table II compares — depend on multiplier error statistics, not
+// on the specific picture (see DESIGN.md §3).
+
+#pragma once
+
+#include "realm/jpeg/image.hpp"
+
+namespace realm::jpeg {
+
+/// Sky gradient, dark figure silhouette, tripod, grass texture.
+[[nodiscard]] Image synthetic_cameraman(int size = 512);
+
+/// Soft large-scale gradients, smooth curved regions, mild texture.
+[[nodiscard]] Image synthetic_lena(int size = 512);
+
+/// Rectangular furniture shapes, wall gradient, patterned rug texture.
+[[nodiscard]] Image synthetic_livingroom(int size = 512);
+
+/// All three, paired with the paper's row labels.
+struct NamedImage {
+  const char* name;
+  Image image;
+};
+[[nodiscard]] std::vector<NamedImage> table2_images(int size = 512);
+
+}  // namespace realm::jpeg

@@ -1,0 +1,47 @@
+// Common interface of every multiplier model in the library.
+//
+// All designs evaluated in the paper are combinational unsigned N×N integer
+// multipliers; behaviorally each is just a pure function
+// (a, b) -> approximate product.  The virtual interface lets the error
+// harness, the JPEG application, and the design-space sweep treat REALM and
+// the ten baselines uniformly.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace realm {
+
+class Multiplier {
+ public:
+  Multiplier() = default;
+  Multiplier(const Multiplier&) = default;
+  Multiplier& operator=(const Multiplier&) = default;
+  Multiplier(Multiplier&&) = default;
+  Multiplier& operator=(Multiplier&&) = default;
+  virtual ~Multiplier() = default;
+
+  /// Approximate (or exact) product of two unsigned width()-bit operands.
+  /// Operands wider than width() bits are a precondition violation; models
+  /// assert in debug builds.
+  [[nodiscard]] virtual std::uint64_t multiply(std::uint64_t a,
+                                               std::uint64_t b) const = 0;
+
+  /// Human-readable design name including its configuration,
+  /// e.g. "REALM16 (t=4)" or "DRUM (k=6)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Operand width N in bits.
+  [[nodiscard]] virtual int width() const = 0;
+
+  /// Convenience adapter for code that wants a plain function object
+  /// (e.g. the fixed-point JPEG datapath).
+  [[nodiscard]] std::function<std::uint64_t(std::uint64_t, std::uint64_t)>
+  as_function() const {
+    return [this](std::uint64_t a, std::uint64_t b) { return multiply(a, b); };
+  }
+};
+
+}  // namespace realm

@@ -1,0 +1,23 @@
+// Exact unsigned integer multiplier — the accuracy and cost reference of
+// every experiment (the paper's accurate design is a Wallace-tree multiplier;
+// its gate-level model lives in src/hw/circuits/accurate_mult.cpp).
+
+#pragma once
+
+#include "realm/multiplier.hpp"
+
+namespace realm::mult {
+
+class AccurateMultiplier final : public Multiplier {
+ public:
+  explicit AccurateMultiplier(int n = 16);
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
+  [[nodiscard]] std::string name() const override { return "Accurate"; }
+  [[nodiscard]] int width() const override { return n_; }
+
+ private:
+  int n_;
+};
+
+}  // namespace realm::mult

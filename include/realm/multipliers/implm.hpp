@@ -1,0 +1,29 @@
+// ImpLM — improved logarithmic multiplier of Ansari et al. [10].
+//
+// Improves Mitchell's log approximation by choosing the power of two
+// *nearest* to each operand instead of the highest one below it: for
+// A = 2^k(1+x) with x >= 1/2, the operand is re-anchored as A = 2^(k+1)·m
+// with mantissa offset f = m - 1 ∈ [-1/4, 0).  The fraction sum can
+// therefore be negative, which makes the error double-sided with peak
+// exactly ±1/9 (±11.11 %) and near-zero bias — matching the ImpLM "EA"
+// (exact adder) row of Table I.
+
+#pragma once
+
+#include "realm/multiplier.hpp"
+
+namespace realm::mult {
+
+class ImplmMultiplier final : public Multiplier {
+ public:
+  explicit ImplmMultiplier(int n = 16);
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
+  [[nodiscard]] std::string name() const override { return "ImpLM (EA)"; }
+  [[nodiscard]] int width() const override { return n_; }
+
+ private:
+  int n_;
+};
+
+}  // namespace realm::mult

@@ -1,0 +1,46 @@
+// IntALP — integer version of ApproxLP [11], built for comparison exactly as
+// the REALM paper describes (§II, §IV-A): compute the characteristic and
+// fractional parts of the integer inputs, apply a linear-plane approximation
+// to the product of the mantissas (1+x)(1+y) = 1 + x + y + xy, and scale by
+// the sum of the characteristics.
+//
+// Level 1 approximates the bilinear term xy by one plane per side of the
+// x+y = 1 comparator, each chosen as the *tight upper* plane (touching xy at
+// the region's tangent point), which makes the error one-sided positive with
+// a +12.5 % peak — the IntALP (L=1) row of Table I.
+//
+// Level 2 adds a least-squares plane correction of the level-1 residual per
+// (x, y) MSB quadrant; the coefficients are derived at construction by the
+// numeric substrate and quantized, making the error double-sided and small
+// at the cost of wider selection/mux logic (why its resource gain is poor).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "realm/multiplier.hpp"
+
+namespace realm::mult {
+
+class IntAlpMultiplier final : public Multiplier {
+ public:
+  /// n: operand width; level: 1 or 2 approximation levels.
+  IntAlpMultiplier(int n, int level);
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int width() const override { return n_; }
+
+ private:
+  struct Plane {
+    std::int64_t ax, ay, c;  // Q(kCoeffBits) fixed-point coefficients
+  };
+  static constexpr int kCoeffBits = 10;
+
+  int n_;
+  int level_;
+  std::array<Plane, 4> quadrant_planes_{};  // level-2 residual correction
+};
+
+}  // namespace realm::mult

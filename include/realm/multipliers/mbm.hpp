@@ -1,0 +1,38 @@
+// MBM — the minimally biased multiplier of Saadat et al. [4].
+//
+// Mitchell's multiplier plus a *single* error-correction term for the whole
+// power-of-two-interval: the average of Mitchell's absolute error over the
+// interval, which normalizes to exactly 1/12 of 2^(ka+kb) (see
+// realm::core::mbm_correction()).  The constant is quantized to q fraction
+// bits and applied inside the antilog exactly like REALM's s_ij (REALM is
+// MBM generalized to M×M per-segment factors and a relative-error
+// formulation).  Shares REALM's t-LSB truncation knob with the forced-1
+// rounding bit.
+
+#pragma once
+
+#include <cstdint>
+
+#include "realm/multiplier.hpp"
+
+namespace realm::mult {
+
+class MbmMultiplier final : public Multiplier {
+ public:
+  explicit MbmMultiplier(int n = 16, int t = 0, int q = 6);
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int width() const override { return n_; }
+
+  /// Quantized correction in units of 2^-q (round-to-nearest of 1/12).
+  [[nodiscard]] std::uint32_t correction_units() const noexcept { return corr_units_; }
+
+ private:
+  int n_;
+  int t_;
+  int q_;
+  std::uint32_t corr_units_;
+};
+
+}  // namespace realm::mult

@@ -1,0 +1,62 @@
+// Factory for every multiplier design evaluated in the paper.
+//
+// Designs are addressed by compact spec strings, e.g.:
+//   "accurate"          exact multiplier
+//   "realm:m=16,t=4"    REALM16 with 4 truncated bits (q defaults to 6)
+//   "calm"              Mitchell's classical design
+//   "mbm:t=2"           MBM with t = 2
+//   "alm-soa:m=11"      ALM with set-one adder, m approximate bits
+//   "alm-maa:m=9"       ALM with lower-OR (MAA-class) adder
+//   "implm"             ImpLM with exact adder
+//   "drum:k=6"          DRUM with 6-bit fragments
+//   "ssm:m=8"           SSM, "essm:m=8" ESSM8
+//   "am1:nb=9", "am2:nb=13"
+//   "intalp:l=2"
+//
+// table1_specs() lists the rows of Table I in paper order so the error and
+// synthesis benches, the Pareto sweep, and the tests all iterate the same
+// design set.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "realm/multiplier.hpp"
+
+namespace realm::mult {
+
+/// A parsed spec: lower-cased design name plus integer parameters.
+struct SpecParams {
+  std::string design;
+  std::map<std::string, int> params;
+
+  /// Parameter value or `fallback` when absent.
+  [[nodiscard]] int get(const std::string& key, int fallback) const;
+  /// Parameter value; throws std::invalid_argument when absent.
+  [[nodiscard]] int require(const std::string& key) const;
+};
+
+/// Parses "design:key=value,key=value" (shared by the behavioral factory and
+/// the circuit builders, so both sides agree on the design set).
+[[nodiscard]] SpecParams parse_spec(const std::string& spec);
+
+/// Parses a spec string and constructs the design for n-bit operands.
+/// Throws std::invalid_argument on unknown designs, malformed specs, or
+/// parameters the design rejects.
+[[nodiscard]] std::unique_ptr<Multiplier> make_multiplier(const std::string& spec,
+                                                          int n = 16);
+
+/// All approximate-design rows of Table I, in the paper's order.
+[[nodiscard]] std::vector<std::string> table1_specs();
+
+/// The subset used in the JPEG evaluation (Table II), paper order, minus the
+/// accurate reference.
+[[nodiscard]] std::vector<std::string> table2_specs();
+
+/// The designs plotted in Fig. 1 (least-mean-error configurations).
+[[nodiscard]] std::vector<std::string> fig1_specs();
+
+}  // namespace realm::mult

@@ -1,0 +1,41 @@
+// Signed multiplication on top of any unsigned approximate multiplier.
+//
+// Paper §III-C: "it is straightforward to extend any unsigned integer
+// multiplier for handling signed numbers", referring to DRUM's [3]
+// sign-magnitude scheme: take magnitudes, multiply unsigned, re-apply the
+// XOR of the signs.  This adapter implements that scheme for two's-complement
+// n-bit operands; build_signed_circuit() is the matching gate-level wrapper.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "realm/multiplier.hpp"
+
+namespace realm::mult {
+
+class SignedMultiplier {
+ public:
+  /// Takes ownership of the unsigned core.  Operand width is the core's
+  /// width(); operands are two's-complement n-bit values, the product is a
+  /// two's-complement 2n-bit value.
+  explicit SignedMultiplier(std::unique_ptr<Multiplier> core);
+
+  /// Signed product.  Accepts the full two's-complement range including
+  /// -2^(n-1) (whose magnitude still fits the n-bit unsigned core).
+  [[nodiscard]] std::int64_t multiply(std::int64_t a, std::int64_t b) const;
+
+  [[nodiscard]] const Multiplier& core() const noexcept { return *core_; }
+  [[nodiscard]] int width() const { return core_->width(); }
+  [[nodiscard]] std::string name() const { return "signed " + core_->name(); }
+
+ private:
+  std::unique_ptr<Multiplier> core_;
+};
+
+/// Convenience: signed multiplier from a registry spec.
+[[nodiscard]] SignedMultiplier make_signed_multiplier(const std::string& spec,
+                                                      int n = 16);
+
+}  // namespace realm::mult

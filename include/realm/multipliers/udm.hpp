@@ -1,0 +1,54 @@
+// UDM — Kulkarni's underdesigned multiplier (the paper's ref [7]) and the
+// constant-correction truncated multiplier, two further baselines the
+// paper's related-work section cites ("approximating 2x2 multiplier blocks
+// in recursive multipliers [7]") but does not evaluate.
+//
+// UDM's 2×2 building block is exact on 15 of 16 input pairs and returns
+// 3×3 = 7 (0b111) instead of 9, which lets the block output fit 3 bits:
+//   P0 = a0·b0,  P1 = a1·b0 + a0·b1 (OR),  P2 = a1·b1.
+// Larger widths compose recursively: an n×n from four (n/2)×(n/2) blocks
+// combined with exact shift-adds, so the only approximation is the block.
+//
+// The truncated multiplier drops all partial products below a column
+// threshold and adds a constant mid-point correction — the classic
+// fixed-width multiplier approximation.
+
+#pragma once
+
+#include "realm/multiplier.hpp"
+
+namespace realm::mult {
+
+class UdmMultiplier final : public Multiplier {
+ public:
+  /// n must be a power of two >= 2.
+  explicit UdmMultiplier(int n = 16);
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
+  [[nodiscard]] std::string name() const override { return "UDM"; }
+  [[nodiscard]] int width() const override { return n_; }
+
+ private:
+  int n_;
+};
+
+class TruncatedMultiplier final : public Multiplier {
+ public:
+  /// Drops partial products in columns < drop; adds the expected value of
+  /// the dropped mass (constant) back at column `drop`.
+  TruncatedMultiplier(int n, int drop);
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int width() const override { return n_; }
+
+  /// The hardwired correction constant (units of 2^drop).
+  [[nodiscard]] std::uint64_t correction() const noexcept { return correction_; }
+
+ private:
+  int n_;
+  int drop_;
+  std::uint64_t correction_;
+};
+
+}  // namespace realm::mult

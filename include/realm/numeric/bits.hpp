@@ -1,0 +1,64 @@
+// Bit-manipulation utilities shared by every bit-accurate multiplier model.
+//
+// All multiplier models in this library operate on unsigned integers held in
+// uint64_t (operands up to 32 bits; products up to 65 bits are handled with
+// unsigned __int128 where needed).  The helpers here are the primitive
+// hardware blocks expressed as software: leading-one detection (LOD),
+// nearest-one detection (NOD, used by ImpLM), masks, and saturation.
+
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace realm::num {
+
+/// Position of the most-significant set bit (the "leading one").
+/// Mirrors the LOD block in Fig. 3 of the paper.  Precondition: v != 0.
+[[nodiscard]] constexpr int leading_one(std::uint64_t v) noexcept {
+  assert(v != 0);
+  return 63 - std::countl_zero(v);
+}
+
+/// Nearest power-of-two exponent: round(log2(v)) implemented exactly in
+/// integer arithmetic.  Used by ImpLM's nearest-one detector: the result is
+/// k+1 (instead of k) when the fractional part x of v = 2^k(1+x) satisfies
+/// x >= 0.5, i.e. when bit (k-1) of v is set.
+[[nodiscard]] constexpr int nearest_one(std::uint64_t v) noexcept {
+  assert(v != 0);
+  const int k = leading_one(v);
+  if (k == 0) return 0;
+  return k + ((v >> (k - 1)) & 1u ? 1 : 0);
+}
+
+/// Mask with the n low bits set.  n may be 0..64.
+[[nodiscard]] constexpr std::uint64_t mask(int n) noexcept {
+  assert(n >= 0 && n <= 64);
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/// Extract bits [hi:lo] (inclusive, Verilog-style) of v.
+[[nodiscard]] constexpr std::uint64_t bits(std::uint64_t v, int hi, int lo) noexcept {
+  assert(hi >= lo && lo >= 0 && hi < 64);
+  return (v >> lo) & mask(hi - lo + 1);
+}
+
+/// Saturate v to an n-bit unsigned range.
+[[nodiscard]] constexpr std::uint64_t saturate(std::uint64_t v, int n) noexcept {
+  const std::uint64_t m = mask(n);
+  return v > m ? m : v;
+}
+
+/// True if v fits in n bits.
+[[nodiscard]] constexpr bool fits(std::uint64_t v, int n) noexcept {
+  return n >= 64 || v <= mask(n);
+}
+
+/// Ceil(log2(v)) for v >= 1; number of select bits needed for a v:1 mux.
+[[nodiscard]] constexpr int clog2(std::uint64_t v) noexcept {
+  assert(v >= 1);
+  return v == 1 ? 0 : 64 - std::countl_zero(v - 1);
+}
+
+}  // namespace realm::num

@@ -1,0 +1,21 @@
+// Real dilogarithm Li2(x) for x <= 1.
+//
+// The closed-form evaluation of the REALM segment integrals (Eq. 11 of the
+// paper) over segments that straddle the x+y=1 anti-diagonal produces terms
+// of the form  ∫ ln(3-u)/u du = ln(3)·ln(u) - Li2(u/3),  so we need a real
+// dilogarithm.  The paper's authors evaluated these integrals with the MATLAB
+// Symbolic Math Toolbox; this module is our from-scratch replacement.
+
+#pragma once
+
+namespace realm::num {
+
+/// Real dilogarithm Li2(x) = -∫_0^x ln(1-t)/t dt = Σ_{k>=1} x^k / k²,
+/// defined for x <= 1.  Accurate to ~1e-15 relative over the whole domain.
+/// Arguments x > 1 are outside the real branch and trigger an assert.
+[[nodiscard]] double dilog(double x) noexcept;
+
+/// π²/6 = Li2(1), the only dilogarithm constant the identities need.
+inline constexpr double kPiSquaredOver6 = 1.6449340668482264364724151666460;
+
+}  // namespace realm::num

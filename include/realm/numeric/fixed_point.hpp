@@ -1,0 +1,42 @@
+// Minimal signed fixed-point support for the application-level (JPEG)
+// evaluation, which the paper runs "in 16-bit fixed-point arithmetic".
+//
+// Values are plain int32_t raw words interpreted in Q(frac_bits) format; the
+// interesting part is that *multiplication* is routed through a pluggable
+// unsigned-integer multiplier so approximate designs can be dropped into the
+// DCT datapath exactly as the paper does.  Signed handling follows the
+// sign-magnitude scheme of DRUM [3] ("it is straightforward to extend any
+// unsigned integer multiplier for handling signed numbers"): take magnitudes,
+// multiply unsigned, re-apply the XOR of the signs.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace realm::num {
+
+/// Unsigned integer multiplication function: (a, b) -> approximate product.
+/// Operands are expected to fit the multiplier's native width (16 bits for
+/// every design evaluated in the paper).
+using UMulFn = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+
+/// Signed multiply built on an unsigned multiplier via sign-magnitude.
+[[nodiscard]] std::int64_t signed_mul(std::int64_t a, std::int64_t b, const UMulFn& umul);
+
+/// Fixed-point multiply: (a * b) >> frac_bits with the product formed by the
+/// supplied unsigned multiplier.  Rounds toward zero, as a hardware
+/// truncation of the low product bits would.
+[[nodiscard]] std::int32_t fx_mul(std::int32_t a, std::int32_t b, int frac_bits,
+                                  const UMulFn& umul);
+
+/// Convert a double to Q(frac_bits) with round-to-nearest.
+[[nodiscard]] std::int32_t to_fx(double v, int frac_bits);
+
+/// Convert Q(frac_bits) back to double.
+[[nodiscard]] double from_fx(std::int32_t v, int frac_bits);
+
+/// Saturate to a signed n-bit range [-2^(n-1), 2^(n-1)-1].
+[[nodiscard]] std::int32_t sat_signed(std::int64_t v, int n);
+
+}  // namespace realm::num

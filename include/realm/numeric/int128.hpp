@@ -1,0 +1,11 @@
+// 128-bit integer aliases (GCC/Clang builtin, wrapped so -Wpedantic builds
+// stay clean).  Used for exact wide intermediates in the bit-level models.
+
+#pragma once
+
+namespace realm::num {
+
+__extension__ using uint128 = unsigned __int128;
+__extension__ using int128 = __int128;
+
+}  // namespace realm::num

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation for Monte-Carlo error
+// characterization and power-analysis stimulus.
+//
+// The paper's experiments draw 2^24 input pairs uniformly from
+// {0, ..., 2^16 - 1}.  Reproducibility of every table requires a seeded,
+// platform-independent generator, so we implement xoshiro256** (Blackman &
+// Vigna) rather than rely on std::mt19937 implementation details.
+
+#pragma once
+
+#include <cstdint>
+
+namespace realm::num {
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG with a 2^256-1 period.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single 64-bit seed via splitmix64,
+  /// the seeding procedure recommended by the xoshiro authors.
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// splitmix64 step — also useful on its own for hashing test-case IDs.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace realm::num

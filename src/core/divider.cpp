@@ -1,0 +1,129 @@
+#include "realm/core/divider.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "realm/numeric/bits.hpp"
+#include "realm/numeric/quadrature.hpp"
+
+namespace realm::core {
+
+double mitchell_division_error(double x, double y) noexcept {
+  if (x >= y) return y * (x - y) / (1.0 + x);
+  return (y - x) * (1.0 - y) / (2.0 * (1.0 + x));
+}
+
+std::vector<double> division_factor_table(int m) {
+  if (m < 1) throw std::invalid_argument("division_factor_table: M >= 1");
+  std::vector<double> table(static_cast<std::size_t>(m) * static_cast<std::size_t>(m));
+  const double w = 1.0 / m;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double x0 = i * w, x1 = (i + 1) * w, y0 = j * w, y1 = (j + 1) * w;
+      const double num = num::integrate2d(mitchell_division_error, x0, x1, y0, y1, 1e-10);
+      const double den = num::integrate2d(
+          [](double x, double y) { return (1.0 + y) / (1.0 + x); }, x0, x1, y0, y1,
+          1e-10);
+      table[static_cast<std::size_t>(i * m + j)] = num / den;
+    }
+  }
+  return table;
+}
+
+namespace {
+
+struct LogParts {
+  int k;
+  std::uint64_t frac;  // w bits
+};
+
+LogParts extract(std::uint64_t v, int w) {
+  const int k = num::leading_one(v);
+  return {k, (v ^ (std::uint64_t{1} << k)) << (w - k)};
+}
+
+// Shared datapath: quotient = antilog((ka + x) - (kb + y)) with an optional
+// per-branch correction already scaled to w fraction bits.
+std::uint64_t divide_core(std::uint64_t a, std::uint64_t b, int n,
+                          std::uint64_t s_ge, std::uint64_t s_lt) {
+  const int w = n - 1;
+  const auto oa = extract(a, w);
+  const auto ob = extract(b, w);
+  const auto diff = static_cast<std::int64_t>(oa.frac) - static_cast<std::int64_t>(ob.frac);
+
+  std::int64_t sig;
+  int k;
+  if (diff >= 0) {
+    // 2^(ka-kb) (1 + x - y - s)
+    sig = (std::int64_t{1} << w) + diff - static_cast<std::int64_t>(s_ge);
+    k = oa.k - ob.k;
+  } else {
+    // 2^(ka-kb-1) (2 + x - y - 2s)
+    sig = (std::int64_t{2} << w) + diff - static_cast<std::int64_t>(s_lt);
+    k = oa.k - ob.k - 1;
+  }
+  if (sig <= 0) return 0;  // correction can only graze zero at tiny quotients
+
+  const auto usig = static_cast<std::uint64_t>(sig);
+  if (k >= w) return usig << (k - w);  // only when kb = 0 and no borrow
+  const int shift = w - k;
+  return shift >= 64 ? 0 : usig >> shift;
+}
+
+}  // namespace
+
+MitchellDivider::MitchellDivider(int n) : n_{n} {
+  if (n < 2 || n > 31) throw std::invalid_argument("MitchellDivider: N in [2, 31]");
+}
+
+std::uint64_t MitchellDivider::divide(std::uint64_t a, std::uint64_t b) const {
+  if (b == 0) return num::mask(n_);  // saturating divide-by-zero
+  if (a == 0) return 0;
+  return divide_core(a, b, n_, 0, 0);
+}
+
+RealmDivider::RealmDivider(RealmDividerConfig cfg) : cfg_{cfg}, select_bits_{0} {
+  if (cfg_.n < 2 || cfg_.n > 31) throw std::invalid_argument("RealmDivider: N in [2, 31]");
+  if (cfg_.m < 2 || !std::has_single_bit(static_cast<unsigned>(cfg_.m))) {
+    throw std::invalid_argument("RealmDivider: M must be a power of two >= 2");
+  }
+  if (cfg_.q < 3) throw std::invalid_argument("RealmDivider: q >= 3");
+  select_bits_ = num::clog2(static_cast<std::uint64_t>(cfg_.m));
+  if (cfg_.n - 1 < select_bits_) {
+    throw std::invalid_argument("RealmDivider: fraction narrower than LUT selects");
+  }
+
+  const auto exact = division_factor_table(cfg_.m);
+  units_.resize(exact.size());
+  const double scale = std::ldexp(1.0, cfg_.q);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const auto u = static_cast<long>(std::lround(exact[i] * scale));
+    if (u < 0 || u >= (1L << cfg_.q)) {
+      throw std::domain_error("RealmDivider: factor out of LUT range");
+    }
+    units_[i] = static_cast<std::uint32_t>(u);
+  }
+}
+
+std::uint64_t RealmDivider::divide(std::uint64_t a, std::uint64_t b) const {
+  if (b == 0) return num::mask(cfg_.n);
+  if (a == 0) return 0;
+
+  const int w = cfg_.n - 1;
+  const auto oa = extract(a, w);
+  const auto ob = extract(b, w);
+  const auto i = static_cast<int>(oa.frac >> (w - select_bits_));
+  const auto j = static_cast<int>(ob.frac >> (w - select_bits_));
+  const std::uint64_t u = units_[static_cast<std::size_t>(i * cfg_.m + j)];
+
+  // Align the q-bit factor to the w-bit fraction; the x < y branch takes 2s.
+  const std::uint64_t s_ge = (w >= cfg_.q) ? (u << (w - cfg_.q)) : (u >> (cfg_.q - w));
+  return divide_core(a, b, cfg_.n, s_ge, 2 * s_ge);
+}
+
+std::string RealmDivider::name() const {
+  return "REALM-DIV" + std::to_string(cfg_.m);
+}
+
+}  // namespace realm::core

@@ -1,0 +1,71 @@
+#include "realm/core/error_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "realm/core/segment_factors.hpp"
+#include "realm/numeric/quadrature.hpp"
+
+namespace realm::core {
+namespace {
+
+PredictedErrors integrate_surface(const num::Fn2& residual, int m, int grid) {
+  PredictedErrors out;
+  out.min_pct = 1e9;
+  out.max_pct = -1e9;
+  double sum = 0.0, abs_sum = 0.0, sq_sum = 0.0;
+  const double w = 1.0 / m;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double x0 = i * w, x1 = (i + 1) * w;
+      const double y0 = j * w, y1 = (j + 1) * w;
+      sum += num::integrate2d(residual, x0, x1, y0, y1, 1e-9);
+      abs_sum += num::integrate2d(
+          [&](double x, double y) { return std::fabs(residual(x, y)); }, x0, x1, y0,
+          y1, 1e-9);
+      sq_sum += num::integrate2d(
+          [&](double x, double y) {
+            const double r = residual(x, y);
+            return r * r;
+          },
+          x0, x1, y0, y1, 1e-9);
+      // Extremes: the residual is smooth within a segment with its extrema
+      // on the boundary/corners; a dense edge+interior grid nails them.
+      for (int gx = 0; gx <= grid; ++gx) {
+        for (int gy = 0; gy <= grid; ++gy) {
+          const double x = std::min(x0 + (x1 - x0) * gx / grid, x1 - 1e-12);
+          const double y = std::min(y0 + (y1 - y0) * gy / grid, y1 - 1e-12);
+          const double r = residual(x, y);
+          out.min_pct = std::min(out.min_pct, r);
+          out.max_pct = std::max(out.max_pct, r);
+        }
+      }
+    }
+  }
+  out.bias_pct = 100.0 * sum;
+  out.mean_pct = 100.0 * abs_sum;
+  out.variance = 1e4 * (sq_sum - sum * sum);
+  out.min_pct *= 100.0;
+  out.max_pct *= 100.0;
+  return out;
+}
+
+}  // namespace
+
+PredictedErrors predict_realm_errors(const SegmentLut& lut, int grid) {
+  const int m = lut.m();
+  const auto residual = [&](double x, double y) {
+    const int i = std::min(static_cast<int>(x * m), m - 1);
+    const int j = std::min(static_cast<int>(y * m), m - 1);
+    return mitchell_relative_error(x, y) +
+           lut.quantized(i, j) / ((1.0 + x) * (1.0 + y));
+  };
+  return integrate_surface(residual, m, grid);
+}
+
+PredictedErrors predict_mitchell_errors() {
+  return integrate_surface(
+      [](double x, double y) { return mitchell_relative_error(x, y); }, 4, 96);
+}
+
+}  // namespace realm::core

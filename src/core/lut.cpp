@@ -1,0 +1,58 @@
+#include "realm/core/lut.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "realm/numeric/bits.hpp"
+
+namespace realm::core {
+
+SegmentLut::SegmentLut(int m, int q, Formulation f)
+    : m_{m}, q_{q}, log2m_{0}, formulation_{f} {
+  if (m < 2 || !std::has_single_bit(static_cast<unsigned>(m))) {
+    throw std::invalid_argument("SegmentLut: M must be a power of two >= 2");
+  }
+  if (q < 3) throw std::invalid_argument("SegmentLut: q must be >= 3");
+  log2m_ = num::clog2(static_cast<std::uint64_t>(m));
+
+  exact_ = (f == Formulation::kMeanRelativeError) ? segment_factor_table(m)
+                                                  : segment_factor_table_mse(m);
+  units_.resize(exact_.size());
+  const double scale = std::ldexp(1.0, q_);
+  for (std::size_t k = 0; k < exact_.size(); ++k) {
+    const auto u = static_cast<long>(std::lround(exact_[k] * scale));
+    if (u < 0 || u >= (1L << (q_ - 2))) {
+      // The (0, 0.25) bound is a theorem for the formulations above; failing
+      // it means the caller picked a formulation/M this hardware layout
+      // cannot store.
+      throw std::domain_error("SegmentLut: factor outside [0, 0.25) after quantization");
+    }
+    units_[k] = static_cast<std::uint32_t>(u);
+  }
+}
+
+double SegmentLut::exact(int i, int j) const {
+  if (i < 0 || i >= m_ || j < 0 || j >= m_) throw std::out_of_range("SegmentLut");
+  return exact_[static_cast<std::size_t>(i * m_ + j)];
+}
+
+std::uint32_t SegmentLut::units(int i, int j) const {
+  if (i < 0 || i >= m_ || j < 0 || j >= m_) throw std::out_of_range("SegmentLut");
+  return units_[static_cast<std::size_t>(i * m_ + j)];
+}
+
+double SegmentLut::quantized(int i, int j) const {
+  return static_cast<double>(units(i, j)) * std::ldexp(1.0, -q_);
+}
+
+double SegmentLut::max_quantization_error() const {
+  double worst = 0.0;
+  const double inv = std::ldexp(1.0, -q_);
+  for (std::size_t k = 0; k < exact_.size(); ++k) {
+    worst = std::max(worst, std::fabs(static_cast<double>(units_[k]) * inv - exact_[k]));
+  }
+  return worst;
+}
+
+}  // namespace realm::core

@@ -1,0 +1,88 @@
+#include "realm/core/realm_multiplier.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "realm/numeric/bits.hpp"
+
+namespace realm::core {
+
+RealmMultiplier::RealmMultiplier(RealmConfig cfg) : cfg_{cfg} {
+  // N is capped at 31 so the widest product (2N+1 bits, special case 1)
+  // still fits the uint64_t result bus.
+  if (cfg_.n < 2 || cfg_.n > 31) {
+    throw std::invalid_argument("RealmMultiplier: N must be in [2, 31]");
+  }
+  if (cfg_.t < 0) throw std::invalid_argument("RealmMultiplier: t must be >= 0");
+  lut_ = std::make_shared<const SegmentLut>(cfg_.m, cfg_.q, cfg_.formulation);
+  // The kept fraction must still contain the log2(M) segment-select MSBs.
+  if (cfg_.fraction_bits() < lut_->select_bits()) {
+    throw std::invalid_argument(
+        "RealmMultiplier: t too large — fraction no longer addresses the LUT");
+  }
+}
+
+std::uint64_t RealmMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  assert(num::fits(a, cfg_.n) && num::fits(b, cfg_.n));
+  if (a == 0 || b == 0) return 0;  // zero-detect bypass (special-case logic)
+
+  const int n = cfg_.n;
+  const int w = n - 1;                 // full fraction width out of the shifters
+  const int f = cfg_.fraction_bits();  // kept fraction width after truncation
+  const int ka = num::leading_one(a);
+  const int kb = num::leading_one(b);
+
+  // Input barrel shifters: normalize the bits below the leading one into a
+  // w-bit fraction, then truncate t LSBs and force the new LSB to 1.
+  const std::uint64_t xf_full = (a ^ (std::uint64_t{1} << ka)) << (w - ka);
+  const std::uint64_t yf_full = (b ^ (std::uint64_t{1} << kb)) << (w - kb);
+  const std::uint64_t xf = (xf_full >> cfg_.t) | 1u;
+  const std::uint64_t yf = (yf_full >> cfg_.t) | 1u;
+
+  // Fraction adder: carry-out selects between s_ij and s_ij >> 1 (Eq. 13).
+  const std::uint64_t fsum = xf + yf;
+  const std::uint64_t c_of = fsum >> f;
+  const std::uint64_t frac = fsum & num::mask(f);
+
+  // LUT lookup: the log2(M) MSBs of each fraction identify the segment.
+  const int sel = lut_->select_bits();
+  const auto i = static_cast<int>(xf >> (f - sel));
+  const auto j = static_cast<int>(yf >> (f - sel));
+
+  // Work in 2^-(q+1) units so s_ij >> 1 is exact; align to the f-bit
+  // fraction, dropping bits the datapath cannot hold (hardware drops them
+  // the same way when f < q+1, which happens for large t).
+  const int q1 = cfg_.q + 1;
+  const std::uint64_t s_units = (c_of != 0) ? lut_->units(i, j)
+                                            : (std::uint64_t{lut_->units(i, j)} << 1);
+  const std::uint64_t s_aligned =
+      (f >= q1) ? (s_units << (f - q1)) : (s_units >> (q1 - f));
+
+  // Antilog significand per Eq. 13.  With c_of = 0 the value is
+  // 2^(ka+kb) · (1 + x + y + s); with c_of = 1 it is
+  // 2^(ka+kb+1) · (x + y + s/2) = 2^(ka+kb+1) · (1 + frac + s/2).  Either
+  // way the significand word is (1.frac) + s_sel, carried out to f+2 bits —
+  // the final barrel shifter moves the *whole* word, so a carry out of the
+  // fraction needs no special decode.
+  const std::uint64_t significand = (std::uint64_t{1} << f) + frac + s_aligned;
+  const int k_sum = ka + kb + static_cast<int>(c_of);
+
+  // Final barrel shifter.  k_sum < f drops fraction bits (the paper's
+  // special case 2, which shapes peak error for small products); operands
+  // near 2^N - 1 reach 2N+1 result bits (special case 1) — both reproduced
+  // faithfully.
+  if (k_sum >= f) return significand << (k_sum - f);
+  return significand >> (f - k_sum);
+}
+
+std::uint64_t RealmMultiplier::multiply_saturated(std::uint64_t a, std::uint64_t b) const {
+  return num::saturate(multiply(a, b), 2 * cfg_.n);
+}
+
+std::string RealmMultiplier::name() const {
+  std::string s = "REALM" + std::to_string(cfg_.m) + " (t=" + std::to_string(cfg_.t) + ")";
+  if (cfg_.formulation == Formulation::kMeanSquareError) s += " [MSE]";
+  return s;
+}
+
+}  // namespace realm::core

@@ -1,0 +1,66 @@
+#include "realm/core/runtime_realm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "realm/numeric/bits.hpp"
+
+namespace realm::core {
+
+RuntimeRealmMultiplier::RuntimeRealmMultiplier(int n, int m, int q,
+                                               std::vector<int> t_levels)
+    : n_{n}, q_{q}, t_levels_{std::move(t_levels)}, lut_{m, q} {
+  if (n < 2 || n > 31) throw std::invalid_argument("RuntimeRealm: N in [2, 31]");
+  if (t_levels_.empty()) throw std::invalid_argument("RuntimeRealm: empty t menu");
+  for (const int t : t_levels_) {
+    if (t < 0 || n - 1 - t < lut_.select_bits()) {
+      throw std::invalid_argument("RuntimeRealm: t level out of range");
+    }
+  }
+}
+
+std::uint64_t RuntimeRealmMultiplier::multiply(std::uint64_t a, std::uint64_t b,
+                                               std::size_t level) const {
+  if (level >= t_levels_.size()) throw std::out_of_range("RuntimeRealm: level");
+  assert(num::fits(a, n_) && num::fits(b, n_));
+  if (a == 0 || b == 0) return 0;
+
+  const int t = t_levels_[level];
+  const int w = n_ - 1;  // full-width datapath; truncation is a mask
+  const int ka = num::leading_one(a);
+  const int kb = num::leading_one(b);
+
+  // Masking stage: zero the low t bits, then force bit t to 1 — the value
+  // seen downstream equals the design-time truncated-and-rounded fraction
+  // scaled back to w bits.
+  const std::uint64_t low_mask = ~num::mask(t);
+  const std::uint64_t xf =
+      ((((a ^ (std::uint64_t{1} << ka)) << (w - ka)) & low_mask) |
+       (std::uint64_t{1} << t));
+  const std::uint64_t yf =
+      ((((b ^ (std::uint64_t{1} << kb)) << (w - kb)) & low_mask) |
+       (std::uint64_t{1} << t));
+
+  const std::uint64_t fsum = xf + yf;
+  const std::uint64_t c_of = fsum >> w;
+  const std::uint64_t frac = fsum & num::mask(w);
+
+  const int sel = lut_.select_bits();
+  const auto i = static_cast<int>(xf >> (w - sel));
+  const auto j = static_cast<int>(yf >> (w - sel));
+
+  const int q1 = q_ + 1;
+  const std::uint64_t s_units = (c_of != 0) ? lut_.units(i, j)
+                                            : (std::uint64_t{lut_.units(i, j)} << 1);
+  // Full-width fraction always holds the complete factor (w >= q+1 for every
+  // practical configuration).
+  const std::uint64_t s_aligned =
+      (w >= q1) ? (s_units << (w - q1)) : (s_units >> (q1 - w));
+
+  const std::uint64_t significand = (std::uint64_t{1} << w) + frac + s_aligned;
+  const int k_sum = ka + kb + static_cast<int>(c_of);
+  if (k_sum >= w) return significand << (k_sum - w);
+  return significand >> (w - k_sum);
+}
+
+}  // namespace realm::core

@@ -1,0 +1,30 @@
+#include "realm/dse/design_point.hpp"
+
+#include <cstdio>
+
+namespace realm::dse {
+
+bool DesignPoint::is_realm() const { return spec.rfind("realm", 0) == 0; }
+
+std::string design_points_csv_header() {
+  return "spec,name,bias_pct,mean_error_pct,min_error_pct,max_error_pct,variance,"
+         "peak_error_pct,area_um2,power_uw,area_reduction_pct,power_reduction_pct";
+}
+
+std::string DesignPoint::to_csv_row() const {
+  // Spec strings use ',' between parameters; serialize with ';' so the CSV
+  // stays rectangular (parse_spec accepts either separator on the way back).
+  std::string safe_spec = spec;
+  for (char& c : safe_spec) {
+    if (c == ',') c = ';';
+  }
+  char buf[384];
+  std::snprintf(buf, sizeof buf,
+                "%s,\"%s\",%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.1f,%.1f,%.2f,%.2f",
+                safe_spec.c_str(), name.c_str(), error.bias, error.mean, error.min,
+                error.max, error.variance, error.peak(), cost.area_um2, cost.power_uw,
+                area_reduction_pct, power_reduction_pct);
+  return buf;
+}
+
+}  // namespace realm::dse

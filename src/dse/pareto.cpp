@@ -1,0 +1,72 @@
+#include "realm/dse/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace realm::dse {
+
+std::vector<std::size_t> pareto_front_indices(const std::vector<double>& x_maximize,
+                                              const std::vector<double>& y_minimize) {
+  if (x_maximize.size() != y_minimize.size()) {
+    throw std::invalid_argument("pareto_front_indices: size mismatch");
+  }
+  std::vector<std::size_t> order(x_maximize.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Sort by descending x; sweep keeps points with strictly improving y.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (x_maximize[a] != x_maximize[b]) return x_maximize[a] > x_maximize[b];
+    return y_minimize[a] < y_minimize[b];
+  });
+  std::vector<std::size_t> front;
+  double best_y = std::numeric_limits<double>::infinity();
+  for (const std::size_t i : order) {
+    if (y_minimize[i] < best_y) {
+      front.push_back(i);
+      best_y = y_minimize[i];
+    }
+  }
+  std::reverse(front.begin(), front.end());  // ascending x
+  return front;
+}
+
+std::vector<std::size_t> fig4_front(const std::vector<DesignPoint>& points,
+                                    CostAxis cost, ErrorAxis error) {
+  std::vector<double> x, y;
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DesignPoint& p = points[i];
+    const double e = error == ErrorAxis::kMeanError ? p.error.mean : p.error.peak();
+    const double limit = error == ErrorAxis::kMeanError ? 4.0 : 15.0;
+    if (e > limit) continue;
+    keep.push_back(i);
+    x.push_back(cost == CostAxis::kAreaReduction ? p.area_reduction_pct
+                                                 : p.power_reduction_pct);
+    y.push_back(e);
+  }
+  std::vector<std::size_t> front;
+  for (const std::size_t fi : pareto_front_indices(x, y)) front.push_back(keep[fi]);
+  return front;
+}
+
+std::optional<std::size_t> best_under_budget(const std::vector<DesignPoint>& points,
+                                             const ErrorBudget& budget, CostAxis cost) {
+  std::optional<std::size_t> best;
+  double best_reduction = -1e18;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DesignPoint& p = points[i];
+    if (p.error.mean > budget.max_mean_pct) continue;
+    if (p.error.peak() > budget.max_peak_pct) continue;
+    if (std::abs(p.error.bias) > budget.max_abs_bias_pct) continue;
+    const double reduction = cost == CostAxis::kAreaReduction ? p.area_reduction_pct
+                                                              : p.power_reduction_pct;
+    if (reduction > best_reduction) {
+      best_reduction = reduction;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace realm::dse

@@ -1,0 +1,33 @@
+#include "realm/dse/sweep.hpp"
+
+#include <cstdio>
+
+#include "realm/multipliers/registry.hpp"
+
+namespace realm::dse {
+
+std::vector<DesignPoint> run_sweep(const std::vector<std::string>& specs,
+                                   const SweepOptions& opts) {
+  hw::CostModel cost_model{opts.n, opts.stimulus};
+  std::vector<DesignPoint> points;
+  points.reserve(specs.size());
+  for (const auto& spec : specs) {
+    const auto model = mult::make_multiplier(spec, opts.n);
+    DesignPoint p;
+    p.spec = spec;
+    p.name = model->name();
+    p.error = err::monte_carlo(*model, opts.monte_carlo);
+    p.cost = cost_model.cost(spec);
+    p.area_reduction_pct = cost_model.area_reduction_pct(spec);
+    p.power_reduction_pct = cost_model.power_reduction_pct(spec);
+    if (opts.verbose) {
+      std::fprintf(stderr, "[sweep] %-22s %s area-red=%.1f%% power-red=%.1f%%\n",
+                   p.name.c_str(), p.error.summary().c_str(), p.area_reduction_pct,
+                   p.power_reduction_pct);
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace realm::dse

@@ -1,0 +1,53 @@
+#include "realm/error/histogram.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace realm::err {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_{lo}, hi_{hi}, width_{0} {
+  if (!(hi > lo) || bins < 1) throw std::invalid_argument("Histogram: bad range/bins");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+  width_ = (hi - lo) / bins;
+}
+
+void Histogram::add(double v) noexcept {
+  ++total_;
+  if (v < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (v >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((v - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge guard
+  ++counts_[idx];
+}
+
+std::uint64_t Histogram::count(int bin) const {
+  return counts_.at(static_cast<std::size_t>(bin));
+}
+
+double Histogram::center(int bin) const {
+  if (bin < 0 || bin >= bins()) throw std::out_of_range("Histogram::center");
+  return lo_ + (bin + 0.5) * width_;
+}
+
+double Histogram::density(int bin) const {
+  const std::uint64_t c = count(bin);
+  return total_ == 0 ? 0.0 : static_cast<double>(c) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_csv() const {
+  std::ostringstream os;
+  os << "center,count,density\n";
+  for (int i = 0; i < bins(); ++i) {
+    os << center(i) << ',' << count(i) << ',' << density(i) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace realm::err

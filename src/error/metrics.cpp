@@ -1,0 +1,69 @@
+#include "realm/error/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace realm::err {
+
+double ErrorMetrics::peak() const noexcept { return std::max(std::fabs(min), std::fabs(max)); }
+
+std::string ErrorMetrics::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "bias=%+.2f%% mean=%.2f%% min=%+.2f%% max=%+.2f%% var=%.2f (n=%llu)",
+                bias, mean, min, max, variance,
+                static_cast<unsigned long long>(samples));
+  return buf;
+}
+
+void ErrorAccumulator::add(double rel_error) noexcept {
+  ++n_;
+  const double delta = rel_error - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (rel_error - mean_);
+  abs_sum_ += std::fabs(rel_error);
+  min_ = std::min(min_, rel_error);
+  max_ = std::max(max_, rel_error);
+}
+
+void ErrorAccumulator::add_pair(double approx, double exact) noexcept {
+  if (exact == 0.0) return;
+  add((approx - exact) / exact);
+}
+
+void ErrorAccumulator::merge(const ErrorAccumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  abs_sum_ += other.abs_sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+ErrorMetrics ErrorAccumulator::metrics() const noexcept {
+  ErrorMetrics m;
+  m.samples = n_;
+  if (n_ == 0) return m;
+  const auto n = static_cast<double>(n_);
+  m.bias = 100.0 * mean_;
+  m.mean = 100.0 * abs_sum_ / n;
+  // Table I reports variance of relative error *in percent units*, i.e.
+  // var(100·e) / 100 ... the paper's values (e.g. 0.28 for REALM16) match
+  // var(e·100) treating e in percent: Var[%²] = 1e4 · m2 / n.
+  m.variance = 1e4 * m2_ / n;
+  m.min = 100.0 * min_;
+  m.max = 100.0 * max_;
+  return m;
+}
+
+}  // namespace realm::err

@@ -1,0 +1,91 @@
+#include "realm/error/profile.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "realm/numeric/bits.hpp"
+
+namespace realm::err {
+
+std::vector<ProfilePoint> error_profile(const Multiplier& design, std::uint64_t lo,
+                                        std::uint64_t hi) {
+  if (lo == 0 || hi < lo) throw std::invalid_argument("error_profile: need 0 < lo <= hi");
+  std::vector<ProfilePoint> out;
+  out.reserve((hi - lo + 1) * (hi - lo + 1));
+  for (std::uint64_t a = lo; a <= hi; ++a) {
+    for (std::uint64_t b = lo; b <= hi; ++b) {
+      const double exact = static_cast<double>(a) * static_cast<double>(b);
+      const double e =
+          100.0 * (static_cast<double>(design.multiply(a, b)) - exact) / exact;
+      out.push_back({a, b, e});
+    }
+  }
+  return out;
+}
+
+std::string profile_to_csv(const std::vector<ProfilePoint>& points) {
+  std::ostringstream os;
+  os << "a,b,rel_error_pct\n";
+  for (const auto& p : points) os << p.a << ',' << p.b << ',' << p.rel_error_pct << '\n';
+  return os.str();
+}
+
+std::vector<SegmentStat> segment_error_map(const Multiplier& design, int m, int ka,
+                                           int kb) {
+  if (m < 1) throw std::invalid_argument("segment_error_map: M >= 1");
+  if (ka < 1 || kb < 1 || ka >= design.width() || kb >= design.width()) {
+    throw std::invalid_argument("segment_error_map: characteristic out of range");
+  }
+  const std::uint64_t base_a = std::uint64_t{1} << ka;
+  const std::uint64_t base_b = std::uint64_t{1} << kb;
+
+  struct Acc {
+    double sum = 0;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    std::uint64_t n = 0;
+  };
+  std::vector<Acc> acc(static_cast<std::size_t>(m) * static_cast<std::size_t>(m));
+
+  for (std::uint64_t a = base_a; a < 2 * base_a; ++a) {
+    // Segment index from the fraction MSBs: i = floor(x·M).
+    const auto i = static_cast<int>(((a - base_a) * static_cast<std::uint64_t>(m)) / base_a);
+    for (std::uint64_t b = base_b; b < 2 * base_b; ++b) {
+      const auto j =
+          static_cast<int>(((b - base_b) * static_cast<std::uint64_t>(m)) / base_b);
+      const double exact = static_cast<double>(a) * static_cast<double>(b);
+      const double e =
+          100.0 * (static_cast<double>(design.multiply(a, b)) - exact) / exact;
+      Acc& s = acc[static_cast<std::size_t>(i * m + j)];
+      s.sum += e;
+      s.mn = std::min(s.mn, e);
+      s.mx = std::max(s.mx, e);
+      ++s.n;
+    }
+  }
+
+  std::vector<SegmentStat> out;
+  out.reserve(acc.size());
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const Acc& s = acc[static_cast<std::size_t>(i * m + j)];
+      out.push_back({i, j, s.n ? s.sum / static_cast<double>(s.n) : 0.0,
+                     s.n ? s.mn : 0.0, s.n ? s.mx : 0.0, s.n});
+    }
+  }
+  return out;
+}
+
+std::string segments_to_csv(const std::vector<SegmentStat>& stats) {
+  std::ostringstream os;
+  os << "i,j,mean_rel_error_pct,min_rel_error_pct,max_rel_error_pct,samples\n";
+  for (const auto& s : stats) {
+    os << s.i << ',' << s.j << ',' << s.mean_rel_error_pct << ','
+       << s.min_rel_error_pct << ',' << s.max_rel_error_pct << ',' << s.samples << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace realm::err

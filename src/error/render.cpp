@@ -1,0 +1,79 @@
+#include "realm/error/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace realm::err {
+namespace {
+
+struct GridShape {
+  std::uint64_t lo, hi;
+  int side;
+};
+
+GridShape grid_shape(const std::vector<ProfilePoint>& points) {
+  if (points.empty()) throw std::invalid_argument("render: empty profile");
+  const std::uint64_t lo = points.front().a;
+  const std::uint64_t hi = points.back().a;
+  const auto side = static_cast<int>(hi - lo + 1);
+  if (points.size() != static_cast<std::size_t>(side) * static_cast<std::size_t>(side)) {
+    throw std::invalid_argument("render: profile is not a full square grid");
+  }
+  return {lo, hi, side};
+}
+
+}  // namespace
+
+jpeg::Image render_profile_heatmap(const std::vector<ProfilePoint>& points,
+                                   double scale_pct) {
+  if (scale_pct <= 0.0) throw std::invalid_argument("render: scale_pct > 0");
+  const GridShape g = grid_shape(points);
+  jpeg::Image img{g.side, g.side};
+  for (const auto& p : points) {
+    const auto x = static_cast<int>(p.a - g.lo);
+    const auto y = static_cast<int>(p.b - g.lo);
+    const double v = std::clamp(p.rel_error_pct / scale_pct, -1.0, 1.0);
+    img.set(x, g.side - 1 - y,  // b grows upward, image rows grow downward
+            static_cast<std::uint8_t>(std::lround(127.5 + 127.5 * v)));
+  }
+  return img;
+}
+
+void write_profile_ppm(const std::vector<ProfilePoint>& points, double scale_pct,
+                       const std::string& path) {
+  if (scale_pct <= 0.0) throw std::invalid_argument("render: scale_pct > 0");
+  const GridShape g = grid_shape(points);
+  std::vector<std::uint8_t> rgb(static_cast<std::size_t>(g.side) *
+                                static_cast<std::size_t>(g.side) * 3);
+  for (const auto& p : points) {
+    const auto x = static_cast<int>(p.a - g.lo);
+    const auto y = g.side - 1 - static_cast<int>(p.b - g.lo);
+    const double v = std::clamp(p.rel_error_pct / scale_pct, -1.0, 1.0);
+    // Diverging blue-white-red: |v| pulls the complementary channels down.
+    const auto away = static_cast<std::uint8_t>(std::lround(255.0 * (1.0 - std::fabs(v))));
+    std::uint8_t r = 255, gch = 255, b = 255;
+    if (v > 0) {
+      gch = away;
+      b = away;
+    } else if (v < 0) {
+      r = away;
+      gch = away;
+    }
+    const std::size_t base =
+        (static_cast<std::size_t>(y) * static_cast<std::size_t>(g.side) +
+         static_cast<std::size_t>(x)) * 3;
+    rgb[base] = r;
+    rgb[base + 1] = gch;
+    rgb[base + 2] = b;
+  }
+  std::ofstream os{path, std::ios::binary};
+  if (!os) throw std::runtime_error("write_profile_ppm: cannot open " + path);
+  os << "P6\n" << g.side << ' ' << g.side << "\n255\n";
+  os.write(reinterpret_cast<const char*>(rgb.data()),
+           static_cast<std::streamsize>(rgb.size()));
+  if (!os) throw std::runtime_error("write_profile_ppm: write failed for " + path);
+}
+
+}  // namespace realm::err

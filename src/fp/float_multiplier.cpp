@@ -1,0 +1,86 @@
+#include "realm/fp/float_multiplier.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "realm/multipliers/registry.hpp"
+#include "realm/numeric/bits.hpp"
+
+namespace realm::fp {
+namespace {
+
+constexpr int kFracBits = 23;
+constexpr int kExpBits = 8;
+constexpr std::uint32_t kExpMask = (1u << kExpBits) - 1;
+constexpr std::uint32_t kFracMask = (1u << kFracBits) - 1;
+constexpr std::uint32_t kQuietNan = 0x7FC00000u;
+
+struct Fields {
+  std::uint32_t sign;  // 0 or 1
+  std::uint32_t exp;   // biased
+  std::uint32_t frac;
+};
+
+Fields split(float f) {
+  const auto bits = std::bit_cast<std::uint32_t>(f);
+  return {bits >> 31, (bits >> kFracBits) & kExpMask, bits & kFracMask};
+}
+
+float assemble(std::uint32_t sign, std::uint32_t exp, std::uint32_t frac) {
+  return std::bit_cast<float>((sign << 31) | (exp << kFracBits) | frac);
+}
+
+}  // namespace
+
+ApproxFloatMultiplier::ApproxFloatMultiplier(std::unique_ptr<Multiplier> mantissa_core)
+    : core_{std::move(mantissa_core)} {
+  if (!core_) throw std::invalid_argument("ApproxFloatMultiplier: null core");
+  if (core_->width() != kFracBits + 1) {
+    throw std::invalid_argument(
+        "ApproxFloatMultiplier: mantissa core must be 24 bits wide");
+  }
+}
+
+ApproxFloatMultiplier ApproxFloatMultiplier::from_spec(const std::string& spec) {
+  return ApproxFloatMultiplier{mult::make_multiplier(spec, kFracBits + 1)};
+}
+
+float ApproxFloatMultiplier::multiply(float a, float b) const {
+  const Fields fa = split(a);
+  const Fields fb = split(b);
+  const std::uint32_t sign = fa.sign ^ fb.sign;
+
+  // Special values.  Subnormals (exp == 0, frac != 0) flush to zero.
+  const bool a_nan = fa.exp == kExpMask && fa.frac != 0;
+  const bool b_nan = fb.exp == kExpMask && fb.frac != 0;
+  const bool a_inf = fa.exp == kExpMask && fa.frac == 0;
+  const bool b_inf = fb.exp == kExpMask && fb.frac == 0;
+  const bool a_zero = fa.exp == 0;
+  const bool b_zero = fb.exp == 0;
+  if (a_nan || b_nan || (a_inf && b_zero) || (b_inf && a_zero)) {
+    return std::bit_cast<float>(kQuietNan);
+  }
+  if (a_inf || b_inf) return assemble(sign, kExpMask, 0);
+  if (a_zero || b_zero) return assemble(sign, 0, 0);
+
+  // Significands with the implicit one: 24-bit values in [2^23, 2^24).
+  const std::uint64_t ma = (std::uint64_t{1} << kFracBits) | fa.frac;
+  const std::uint64_t mb = (std::uint64_t{1} << kFracBits) | fb.frac;
+  const std::uint64_t product = core_->multiply(ma, mb);
+  if (product == 0) return assemble(sign, 0, 0);  // pathological approximations
+
+  // Normalize: the exact product has its leading one at bit 46 or 47;
+  // approximate cores can land a bit outside that window (REALM's special
+  // case 1), which the same shift handles.
+  const int lead = num::leading_one(product);
+  const std::int64_t exp =
+      static_cast<std::int64_t>(fa.exp) + fb.exp - 127 + (lead - 2 * kFracBits);
+  if (exp >= static_cast<std::int64_t>(kExpMask)) return assemble(sign, kExpMask, 0);
+  if (exp <= 0) return assemble(sign, 0, 0);  // flush-to-zero underflow
+
+  const std::uint32_t frac =
+      static_cast<std::uint32_t>(product >> (lead - kFracBits)) & kFracMask;
+  return assemble(sign, static_cast<std::uint32_t>(exp), frac);
+}
+
+}  // namespace realm::fp

@@ -1,0 +1,36 @@
+#include "realm/hw/cell_library.hpp"
+
+namespace realm::hw {
+namespace {
+
+// Areas follow the X1-drive cells of the open 45 nm libraries; switching
+// energy is taken proportional to cell area (output load dominates at a
+// fixed drive), leakage likewise.  Only ratios matter — see the calibration
+// note in the header.
+// Delays are typical 45 nm X1 propagation times at nominal load.
+constexpr std::array<CellSpec, kGateKindCount> kSpecs{{
+    {"INV_X1", 1, 0.532, 0.532, 0.532, 12.0},
+    {"BUF_X1", 1, 0.798, 0.798, 0.798, 22.0},
+    {"AND2_X1", 2, 1.064, 1.064, 1.064, 26.0},
+    {"OR2_X1", 2, 1.064, 1.064, 1.064, 28.0},
+    {"NAND2_X1", 2, 0.798, 0.798, 0.798, 15.0},
+    {"NOR2_X1", 2, 0.798, 0.798, 0.798, 19.0},
+    {"XOR2_X1", 2, 1.596, 1.596, 1.596, 32.0},
+    {"XNOR2_X1", 2, 1.596, 1.596, 1.596, 32.0},
+    // Transmission-gate 2:1 mux — ~1.33 NAND2-equivalents in TSMC-class
+    // libraries, noticeably cheaper than Nangate's static MUX2_X1.  The
+    // log-based datapaths (barrel shifters, hardwired LUTs) are mux-bound,
+    // so this ratio is what positions them correctly against the accurate
+    // (XOR/AND-bound) Wallace multiplier.
+    {"MUX2_X1", 3, 1.064, 1.064, 1.064, 30.0},
+}};
+
+}  // namespace
+
+const CellSpec& cell_spec(GateKind kind) noexcept {
+  return kSpecs[static_cast<std::size_t>(kind)];
+}
+
+const std::array<CellSpec, kGateKindCount>& cell_specs() noexcept { return kSpecs; }
+
+}  // namespace realm::hw

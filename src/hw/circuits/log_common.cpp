@@ -1,0 +1,60 @@
+#include "log_common.hpp"
+
+#include "realm/numeric/bits.hpp"
+
+namespace realm::hw::detail {
+
+LogOperand log_extract(Module& m, const Bus& in, int t, bool forced_one) {
+  const int n = static_cast<int>(in.size());
+  const int w = n - 1;
+  const auto lod = leading_one_detector(m, in);
+
+  // Normalize: shift the operand so the leading one lands on bit w, then
+  // take bits [w-1:0] as the fraction.  Shift amount is (n-1) - position.
+  const auto amt = ripple_sub(m, m.constant(static_cast<std::uint64_t>(w),
+                                            static_cast<int>(lod.position.size())),
+                              lod.position);
+  const Bus shifted = barrel_shift_left(m, in, amt.diff, n);
+  Bus frac = (w > 0) ? slice(shifted, w - 1, 0) : Bus{};
+
+  // Truncate t LSBs; optionally tie the new LSB high (free in hardware).
+  if (t > 0) frac = slice(frac, w - 1, t);
+  if (forced_one && !frac.empty()) frac[0] = kConst1;
+
+  return {lod.position, std::move(frac), lod.none};
+}
+
+Bus final_scale(Module& m, const Bus& significand, const Bus& ksum, int f,
+                int out_width) {
+  // Split the signed shift (ksum - f) into a left amount max(0, ksum-f) and
+  // a right amount max(0, f-ksum); one of the two is always zero.
+  const int kw = static_cast<int>(ksum.size());
+  const Bus fconst = m.constant(static_cast<std::uint64_t>(f), kw);
+  const auto left = ripple_sub(m, ksum, fconst);    // borrow => ksum < f
+  const auto right = ripple_sub(m, fconst, ksum);   // valid when borrow
+
+  const NetId use_right = left.borrow;
+  Bus lamt(left.diff.size());
+  for (std::size_t i = 0; i < lamt.size(); ++i) {
+    lamt[i] = m.and2(left.diff[i], m.inv(use_right));
+  }
+  Bus ramt(right.diff.size());
+  for (std::size_t i = 0; i < ramt.size(); ++i) {
+    ramt[i] = m.and2(right.diff[i], use_right);
+  }
+
+  const Bus shifted_left = barrel_shift_left(m, significand, lamt, out_width);
+  const Bus shifted_right =
+      resize(barrel_shift_right(m, significand, ramt,
+                                static_cast<int>(significand.size())),
+             out_width);
+  return mux_bus(m, use_right, shifted_left, shifted_right);
+}
+
+Bus gate_bus(Module& m, const Bus& bus, NetId enable) {
+  Bus out(bus.size());
+  for (std::size_t i = 0; i < bus.size(); ++i) out[i] = m.and2(bus[i], enable);
+  return out;
+}
+
+}  // namespace realm::hw::detail

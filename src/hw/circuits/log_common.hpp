@@ -1,0 +1,29 @@
+// Internal helpers shared by the log-based multiplier circuits.
+
+#pragma once
+
+#include "realm/hw/components.hpp"
+#include "realm/hw/netlist.hpp"
+
+namespace realm::hw::detail {
+
+struct LogOperand {
+  Bus k;       ///< characteristic (clog2(n) bits)
+  Bus frac;    ///< fraction, f = n-1-t bits, LSB-first
+  NetId zero;  ///< 1 when the operand is zero
+};
+
+/// LOD + normalizing barrel shifter + truncation (paper Fig. 3 input stage).
+/// When forced_one is set the kept LSB is tied to constant 1.
+[[nodiscard]] LogOperand log_extract(Module& m, const Bus& in, int t, bool forced_one);
+
+/// Final scaling stage: out = significand · 2^(ksum - f), truncated to an
+/// integer, out_width bits.  `significand` carries f fraction bits; shifts
+/// below f drop fraction bits (the paper's special case 2).
+[[nodiscard]] Bus final_scale(Module& m, const Bus& significand, const Bus& ksum,
+                              int f, int out_width);
+
+/// AND-mask every bit of `bus` with `enable` (zero-operand bypass).
+[[nodiscard]] Bus gate_bus(Module& m, const Bus& bus, NetId enable);
+
+}  // namespace realm::hw::detail

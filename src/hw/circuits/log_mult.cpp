@@ -1,0 +1,107 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "log_common.hpp"
+#include "realm/core/segment_factors.hpp"
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/components.hpp"
+#include "realm/numeric/bits.hpp"
+
+namespace realm::hw {
+
+Module build_log_multiplier(const LogMultOptions& opts) {
+  const int n = opts.n;
+  if (n < 2 || n > 31) throw std::invalid_argument("build_log_multiplier: N in [2, 31]");
+  const int f = n - 1 - opts.t;
+  if (f < 1) throw std::invalid_argument("build_log_multiplier: t too large");
+  if (opts.approx_adder_bits < 0 || opts.approx_adder_bits > f) {
+    throw std::invalid_argument("build_log_multiplier: bad approx_adder_bits");
+  }
+
+  std::string name = "calm" + std::to_string(n);
+  if (opts.mbm_correction) name = "mbm" + std::to_string(n) + "_t" + std::to_string(opts.t);
+  if (opts.approx_adder_bits > 0) {
+    name = (opts.approx_adder == mult::AlmAdder::kSetOne ? "alm_soa" : "alm_maa") +
+           std::to_string(n) + "_m" + std::to_string(opts.approx_adder_bits);
+  }
+  Module m{name};
+  const Bus a = m.add_input("a", n);
+  const Bus b = m.add_input("b", n);
+
+  const auto oa = detail::log_extract(m, a, opts.t, opts.forced_one);
+  const auto ob = detail::log_extract(m, b, opts.t, opts.forced_one);
+
+  // Fraction adder — exact, or approximate on the low m bits (ALM [9]).
+  Bus frac(static_cast<std::size_t>(f));
+  NetId c_of = kConst0;
+  const int am = opts.approx_adder_bits;
+  if (am == 0) {
+    const auto add = add_with_arch(m, oa.frac, ob.frac, opts.fraction_adder);
+    frac = add.sum;
+    c_of = add.carry;
+  } else {
+    NetId carry_in = kConst0;
+    if (opts.approx_adder == mult::AlmAdder::kSetOne) {
+      for (int i = 0; i < am; ++i) frac[static_cast<std::size_t>(i)] = kConst1;
+    } else {
+      for (int i = 0; i < am; ++i) {
+        frac[static_cast<std::size_t>(i)] = m.or2(oa.frac[static_cast<std::size_t>(i)],
+                                                  ob.frac[static_cast<std::size_t>(i)]);
+      }
+      carry_in = m.and2(oa.frac[static_cast<std::size_t>(am - 1)],
+                        ob.frac[static_cast<std::size_t>(am - 1)]);
+    }
+    if (am < f) {
+      const auto add = ripple_add(m, slice(oa.frac, f - 1, am), slice(ob.frac, f - 1, am),
+                                  carry_in);
+      for (int i = am; i < f; ++i) {
+        frac[static_cast<std::size_t>(i)] = add.sum[static_cast<std::size_t>(i - am)];
+      }
+      c_of = add.carry;
+    } else {
+      c_of = carry_in;  // whole fraction approximate; SOA/LOA drop the carry
+    }
+  }
+
+  // Significand = (1.frac), plus MBM's quantized 1/12 correction when
+  // enabled (s or s>>1 selected by the fraction carry, Eq. 13 with M = 1).
+  Bus significand = concat(frac, Bus{kConst1});  // f+1 bits
+  if (opts.mbm_correction) {
+    const auto units = static_cast<std::uint64_t>(
+        std::lround(core::mbm_correction() * std::ldexp(1.0, opts.q)));
+    const int q1 = opts.q + 1;
+    // Value in 2^-(q+1) units: 2·units when no carry, units when carry —
+    // a constant 2:1 mux that folds to wires/inverters of c_of.
+    Bus s_sel(static_cast<std::size_t>(q1));
+    for (int i = 0; i < q1; ++i) {
+      const NetId hi = ((units << 1 >> i) & 1u) ? kConst1 : kConst0;
+      const NetId lo = ((units >> i) & 1u) ? kConst1 : kConst0;
+      s_sel[static_cast<std::size_t>(i)] = m.mux(c_of, hi, lo);
+    }
+    Bus s_aligned;
+    if (f >= q1) {
+      s_aligned = concat(Bus(static_cast<std::size_t>(f - q1), kConst0), s_sel);
+    } else {
+      s_aligned = slice(s_sel, q1 - 1, q1 - f);
+    }
+    significand = ripple_add(m, resize(significand, f + 2),
+                             resize(s_aligned, f + 2)).sum;
+  } else {
+    significand = resize(significand, f + 2);
+  }
+
+  // Characteristic sum (+ fraction carry).
+  auto ksum = ripple_add(m, oa.k, ob.k);
+  Bus kbus = concat(ksum.sum, Bus{ksum.carry});
+  kbus = ripple_add(m, kbus, Bus{c_of}).sum;
+
+  // With the correction the product can spill into bit 2N (the paper's
+  // special case 1), so the corrected designs get a 2N+1-bit output bus.
+  const int out_width = opts.mbm_correction ? 2 * n + 1 : 2 * n;
+  Bus p = detail::final_scale(m, significand, kbus, f, out_width);
+  const NetId valid = m.nor2(oa.zero, ob.zero);
+  m.add_output("p", detail::gate_bus(m, p, valid));
+  return m;
+}
+
+}  // namespace realm::hw

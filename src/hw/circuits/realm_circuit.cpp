@@ -1,0 +1,96 @@
+// REALM gate-level datapath (paper Fig. 3): LOD + barrel shifters, fraction
+// adder, hardwired constant LUT addressed by the fraction MSBs, the
+// s vs s>>1 mux, and the final scaling shifter.
+
+#include <stdexcept>
+
+#include "log_common.hpp"
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/components.hpp"
+#include "realm/numeric/bits.hpp"
+
+namespace realm::hw {
+
+namespace {
+
+// Shared datapath with an optional pipeline cut between the log-add stage
+// and the LUT/scaling stage.
+Module build_realm_impl(const core::RealmConfig& cfg, bool pipelined) {
+  const int n = cfg.n;
+  const int f = cfg.fraction_bits();
+  const core::SegmentLut lut{cfg.m, cfg.q, cfg.formulation};
+  if (f < lut.select_bits()) {
+    throw std::invalid_argument("build_realm: t too large for the LUT selects");
+  }
+
+  Module m{std::string{pipelined ? "realm_pipe" : "realm"} + std::to_string(n) + "_m" +
+           std::to_string(cfg.m) + "_t" + std::to_string(cfg.t)};
+  const Bus a = m.add_input("a", n);
+  const Bus b = m.add_input("b", n);
+
+  const auto oa = detail::log_extract(m, a, cfg.t, /*forced_one=*/true);
+  const auto ob = detail::log_extract(m, b, cfg.t, /*forced_one=*/true);
+
+  const auto add = ripple_add(m, oa.frac, ob.frac);
+  Bus frac = add.sum;
+  NetId c_of = add.carry;
+
+  // LUT select lines: the log2(M) MSBs of each fraction; address = i·M + j
+  // with i from operand a, so a's bits are the high select lines.
+  const int sel_bits = lut.select_bits();
+  Bus sel = concat(slice(ob.frac, f - 1, f - sel_bits),
+                   slice(oa.frac, f - 1, f - sel_bits));
+
+  auto kadd1 = ripple_add(m, oa.k, ob.k);
+  Bus kraw = concat(kadd1.sum, Bus{kadd1.carry});
+  NetId valid = m.nor2(oa.zero, ob.zero);
+
+  if (pipelined) {
+    // Stage boundary: register everything stage 2 consumes.
+    frac = m.add_register_bus(frac);
+    c_of = m.add_register(c_of);
+    sel = m.add_register_bus(sel);
+    kraw = m.add_register_bus(kraw);
+    valid = m.add_register(valid);
+  }
+  std::vector<std::uint64_t> entries(lut.all_units().begin(), lut.all_units().end());
+  const Bus s_raw = constant_lut(m, sel, entries, lut.stored_bits());
+
+  // s vs s>>1 (Eq. 13): in 2^-(q+1) units, s is the raw value shifted left
+  // by one — the mux is pure wiring plus per-bit 2:1 muxes.
+  const int q1 = cfg.q + 1;
+  Bus s_full = resize(concat(Bus{kConst0}, s_raw), q1);   // units << 1
+  Bus s_half = resize(s_raw, q1);                         // units
+  const Bus s_sel = mux_bus(m, c_of, s_full, s_half);
+
+  Bus s_aligned;
+  if (f >= q1) {
+    s_aligned = concat(Bus(static_cast<std::size_t>(f - q1), kConst0), s_sel);
+  } else {
+    s_aligned = slice(s_sel, q1 - 1, q1 - f);
+  }
+
+  const Bus significand =
+      ripple_add(m, resize(concat(frac, Bus{kConst1}), f + 2),
+                 resize(s_aligned, f + 2)).sum;
+
+  const Bus kbus = ripple_add(m, kraw, Bus{c_of}).sum;
+
+  Bus p = detail::final_scale(m, significand, kbus, f, 2 * n + 1);
+  m.add_output("p", detail::gate_bus(m, p, valid));
+  return m;
+}
+
+}  // namespace
+
+Module build_realm(const core::RealmConfig& cfg) {
+  return build_realm_impl(cfg, /*pipelined=*/false);
+}
+
+Module build_realm_pipelined(const core::RealmConfig& cfg) {
+  Module m = build_realm_impl(cfg, /*pipelined=*/true);
+  m.prune();
+  return m;
+}
+
+}  // namespace realm::hw

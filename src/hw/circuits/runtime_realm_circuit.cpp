@@ -1,0 +1,107 @@
+// Gate-level runtime-configurable REALM: a full-width datapath with a
+// mode-controlled masking stage on the fractions (dynamic accuracy/power
+// scaling — see core/runtime_realm.hpp for the semantics).
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "log_common.hpp"
+#include "realm/core/lut.hpp"
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/components.hpp"
+#include "realm/numeric/bits.hpp"
+
+namespace realm::hw {
+
+Module build_realm_runtime(int n, int m_segments, int q,
+                           const std::vector<int>& t_levels) {
+  if (t_levels.size() < 2) {
+    throw std::invalid_argument("build_realm_runtime: need >= 2 truncation levels");
+  }
+  const core::SegmentLut lut{m_segments, q};
+  const int w = n - 1;
+  for (const int t : t_levels) {
+    if (t < 0 || w - t < lut.select_bits()) {
+      throw std::invalid_argument("build_realm_runtime: t level out of range");
+    }
+  }
+
+  Module m{"realm_rt" + std::to_string(n) + "_m" + std::to_string(m_segments)};
+  const Bus a = m.add_input("a", n);
+  const Bus b = m.add_input("b", n);
+  const int mode_bits = num::clog2(t_levels.size());
+  const Bus mode = m.add_input("mode", mode_bits);
+
+  // One-hot level decode.
+  std::vector<NetId> level_sel(t_levels.size());
+  for (std::size_t l = 0; l < t_levels.size(); ++l) {
+    NetId sel = kConst1;
+    for (int bit = 0; bit < mode_bits; ++bit) {
+      const NetId mb = mode[static_cast<std::size_t>(bit)];
+      sel = m.and2(sel, ((l >> bit) & 1u) ? mb : m.inv(mb));
+    }
+    level_sel[l] = sel;
+  }
+
+  const auto oa = detail::log_extract(m, a, 0, /*forced_one=*/false);
+  const auto ob = detail::log_extract(m, b, 0, /*forced_one=*/false);
+
+  // Masking stage: bit i becomes 0 below the selected t, 1 at t, else passes.
+  int max_t = 0;
+  for (const int t : t_levels) max_t = std::max(max_t, t);
+  const auto mask_stage = [&](const Bus& frac) {
+    Bus out = frac;
+    for (int i = 0; i <= max_t && i < w; ++i) {
+      NetId acc = kConst0;
+      for (std::size_t l = 0; l < t_levels.size(); ++l) {
+        const int t = t_levels[l];
+        NetId v;
+        if (i < t) {
+          v = kConst0;
+        } else if (i == t) {
+          v = level_sel[l];
+          acc = m.or2(acc, v);
+          continue;
+        } else {
+          v = m.and2(level_sel[l], frac[static_cast<std::size_t>(i)]);
+        }
+        acc = m.or2(acc, v);
+      }
+      out[static_cast<std::size_t>(i)] = acc;
+    }
+    return out;
+  };
+  const Bus xf = mask_stage(oa.frac);
+  const Bus yf = mask_stage(ob.frac);
+
+  const auto add = ripple_add(m, xf, yf);
+  const Bus frac = add.sum;
+  const NetId c_of = add.carry;
+
+  const int sel_bits = lut.select_bits();
+  const Bus sel = concat(slice(yf, w - 1, w - sel_bits), slice(xf, w - 1, w - sel_bits));
+  std::vector<std::uint64_t> entries(lut.all_units().begin(), lut.all_units().end());
+  const Bus s_raw = constant_lut(m, sel, entries, lut.stored_bits());
+
+  const int q1 = q + 1;
+  const Bus s_full = resize(concat(Bus{kConst0}, s_raw), q1);
+  const Bus s_half = resize(s_raw, q1);
+  const Bus s_sel = mux_bus(m, c_of, s_full, s_half);
+  const Bus s_aligned = concat(Bus(static_cast<std::size_t>(w - q1), kConst0), s_sel);
+
+  const Bus significand =
+      ripple_add(m, resize(concat(frac, Bus{kConst1}), w + 2),
+                 resize(s_aligned, w + 2)).sum;
+  auto kadd = ripple_add(m, oa.k, ob.k);
+  Bus kbus = concat(kadd.sum, Bus{kadd.carry});
+  kbus = ripple_add(m, kbus, Bus{c_of}).sum;
+
+  Bus p = detail::final_scale(m, significand, kbus, w, 2 * n + 1);
+  const NetId valid = m.nor2(oa.zero, ob.zero);
+  m.add_output("p", detail::gate_bus(m, p, valid));
+  m.prune();
+  return m;
+}
+
+}  // namespace realm::hw

@@ -1,0 +1,265 @@
+#include "realm/hw/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "realm/hw/bdd.hpp"
+#include "realm/numeric/rng.hpp"
+
+namespace realm::hw {
+namespace {
+
+// Evaluate all gates with one gate output forced (gate_index == SIZE_MAX for
+// the golden run).  Returns the first output port's value.
+std::uint64_t eval_with_fault(const Module& module, std::vector<std::uint8_t>& values,
+                              std::size_t fault_gate, bool stuck_value) {
+  const auto& gates = module.gates();
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    const Gate& g = gates[gi];
+    std::uint8_t out;
+    if (gi == fault_gate) {
+      out = stuck_value ? 1 : 0;
+    } else {
+      const std::uint8_t a = values[g.in[0]];
+      const std::uint8_t b = values[g.in[1]];
+      const std::uint8_t c = values[g.in[2]];
+      switch (g.kind) {
+        case GateKind::kInv: out = a ^ 1u; break;
+        case GateKind::kBuf: out = a; break;
+        case GateKind::kAnd2: out = a & b; break;
+        case GateKind::kOr2: out = a | b; break;
+        case GateKind::kNand2: out = (a & b) ^ 1u; break;
+        case GateKind::kNor2: out = (a | b) ^ 1u; break;
+        case GateKind::kXor2: out = a ^ b; break;
+        case GateKind::kXnor2: out = a ^ b ^ 1u; break;
+        case GateKind::kMux2: out = c ? b : a; break;
+        default: out = 0; break;
+      }
+    }
+    values[g.out] = out;
+  }
+  std::uint64_t v = 0;
+  const Bus& bus = module.outputs().front().bus;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    v |= static_cast<std::uint64_t>(values[bus[i]] & 1u) << i;
+  }
+  return v;
+}
+
+}  // namespace
+
+FaultReport analyze_fault_impact(const Module& module, int vectors, std::uint64_t seed,
+                                 std::size_t max_sites) {
+  if (module.is_sequential()) {
+    throw std::invalid_argument("analyze_fault_impact: combinational modules only");
+  }
+  if (module.outputs().empty() || module.gates().empty()) {
+    throw std::invalid_argument("analyze_fault_impact: need gates and an output");
+  }
+
+  // Enumerate (or sample) fault sites.
+  std::vector<FaultSite> sites;
+  sites.reserve(2 * module.gates().size());
+  for (std::size_t gi = 0; gi < module.gates().size(); ++gi) {
+    sites.push_back({gi, false});
+    sites.push_back({gi, true});
+  }
+  num::Xoshiro256 rng{seed};
+  if (sites.size() > max_sites) {
+    // Seeded partial Fisher-Yates: the first max_sites entries are a sample.
+    for (std::size_t i = 0; i < max_sites; ++i) {
+      std::swap(sites[i], sites[i + rng.below(sites.size() - i)]);
+    }
+    sites.resize(max_sites);
+  }
+
+  // Input stimulus (shared across sites) and golden responses.
+  std::vector<std::vector<std::uint64_t>> stimulus(static_cast<std::size_t>(vectors));
+  for (auto& vec : stimulus) {
+    vec.resize(module.inputs().size());
+    for (std::size_t p = 0; p < vec.size(); ++p) {
+      vec[p] = rng.below(std::uint64_t{1} << module.inputs()[p].bus.size());
+    }
+  }
+  std::vector<std::uint8_t> values(module.net_count(), 0);
+  values[kConst1] = 1;
+  const auto apply_inputs = [&](const std::vector<std::uint64_t>& vec) {
+    for (std::size_t p = 0; p < vec.size(); ++p) {
+      const Bus& bus = module.inputs()[p].bus;
+      for (std::size_t i = 0; i < bus.size(); ++i) {
+        values[bus[i]] = static_cast<std::uint8_t>((vec[p] >> i) & 1u);
+      }
+    }
+  };
+  std::vector<std::uint64_t> golden(stimulus.size());
+  for (std::size_t v = 0; v < stimulus.size(); ++v) {
+    apply_inputs(stimulus[v]);
+    golden[v] = eval_with_fault(module, values, static_cast<std::size_t>(-1), false);
+  }
+
+  FaultReport report;
+  report.sites_analyzed = sites.size();
+  std::vector<FaultImpact> impacts;
+  impacts.reserve(sites.size());
+  double detected_error_sum = 0.0;
+  std::size_t detected = 0;
+  for (const FaultSite& site : sites) {
+    FaultImpact impact;
+    impact.site = site;
+    int flips = 0;
+    double err_sum = 0.0;
+    for (std::size_t v = 0; v < stimulus.size(); ++v) {
+      apply_inputs(stimulus[v]);
+      const std::uint64_t faulty =
+          eval_with_fault(module, values, site.gate_index, site.stuck_value);
+      if (faulty != golden[v]) ++flips;
+      const double denom = std::max<double>(1.0, static_cast<double>(golden[v]));
+      const double rel =
+          std::fabs(static_cast<double>(faulty) - static_cast<double>(golden[v])) / denom;
+      err_sum += rel;
+      impact.worst_rel_error = std::max(impact.worst_rel_error, rel);
+    }
+    impact.detect_rate = static_cast<double>(flips) / static_cast<double>(vectors);
+    impact.mean_rel_error = err_sum / static_cast<double>(vectors);
+    if (flips == 0) {
+      ++report.sites_undetected;
+    } else {
+      detected_error_sum += impact.mean_rel_error;
+      ++detected;
+      report.worst_rel_error = std::max(report.worst_rel_error, impact.worst_rel_error);
+    }
+    impacts.push_back(impact);
+  }
+  report.mean_rel_error = detected > 0 ? detected_error_sum / static_cast<double>(detected) : 0.0;
+
+  std::sort(impacts.begin(), impacts.end(), [](const FaultImpact& a, const FaultImpact& b) {
+    return a.mean_rel_error > b.mean_rel_error;
+  });
+  impacts.resize(std::min<std::size_t>(impacts.size(), 10));
+  report.worst_sites = std::move(impacts);
+  return report;
+}
+
+AtpgResult generate_tests(const Module& module, double target_coverage,
+                          int max_candidates, std::uint64_t seed) {
+  if (module.is_sequential()) {
+    throw std::invalid_argument("generate_tests: combinational modules only");
+  }
+  if (module.outputs().empty() || module.gates().empty()) {
+    throw std::invalid_argument("generate_tests: need gates and an output");
+  }
+  if (target_coverage <= 0.0 || target_coverage > 1.0) {
+    throw std::invalid_argument("generate_tests: coverage in (0, 1]");
+  }
+
+  std::vector<FaultSite> undetected;
+  undetected.reserve(2 * module.gates().size());
+  for (std::size_t gi = 0; gi < module.gates().size(); ++gi) {
+    undetected.push_back({gi, false});
+    undetected.push_back({gi, true});
+  }
+
+  AtpgResult result;
+  result.faults_total = undetected.size();
+
+  num::Xoshiro256 rng{seed};
+  std::vector<std::uint8_t> values(module.net_count(), 0);
+  values[kConst1] = 1;
+  const auto apply_inputs = [&](const std::vector<std::uint64_t>& vec) {
+    for (std::size_t p = 0; p < vec.size(); ++p) {
+      const Bus& bus = module.inputs()[p].bus;
+      for (std::size_t i = 0; i < bus.size(); ++i) {
+        values[bus[i]] = static_cast<std::uint8_t>((vec[p] >> i) & 1u);
+      }
+    }
+  };
+
+  const auto target =
+      static_cast<std::size_t>(target_coverage * static_cast<double>(result.faults_total));
+  for (int cand = 0; cand < max_candidates && result.faults_detected < target; ++cand) {
+    std::vector<std::uint64_t> vec(module.inputs().size());
+    for (std::size_t p = 0; p < vec.size(); ++p) {
+      vec[p] = rng.below(std::uint64_t{1} << module.inputs()[p].bus.size());
+    }
+    apply_inputs(vec);
+    const std::uint64_t golden =
+        eval_with_fault(module, values, static_cast<std::size_t>(-1), false);
+
+    // Serial fault simulation with dropping.
+    bool kept = false;
+    for (std::size_t f = 0; f < undetected.size();) {
+      apply_inputs(vec);
+      const std::uint64_t faulty = eval_with_fault(
+          module, values, undetected[f].gate_index, undetected[f].stuck_value);
+      if (faulty != golden) {
+        undetected[f] = undetected.back();
+        undetected.pop_back();
+        ++result.faults_detected;
+        kept = true;
+      } else {
+        ++f;
+      }
+    }
+    if (kept) result.patterns.push_back(std::move(vec));
+  }
+  result.undetected = std::move(undetected);
+  return result;
+}
+
+Module inject_fault(const Module& module, const FaultSite& site) {
+  if (site.gate_index >= module.gates().size()) {
+    throw std::invalid_argument("inject_fault: gate index out of range");
+  }
+  Module faulty{module.name() + "_fault"};
+  // Replay the netlist, substituting the faulted gate's output with the
+  // stuck rail.  Inputs are recreated port-for-port.
+  std::vector<NetId> map(module.net_count(), kConst0);
+  map[kConst1] = kConst1;
+  for (const auto& port : module.inputs()) {
+    const Bus bus = faulty.add_input(port.name, static_cast<int>(port.bus.size()));
+    for (std::size_t i = 0; i < bus.size(); ++i) map[port.bus[i]] = bus[i];
+  }
+  for (std::size_t gi = 0; gi < module.gates().size(); ++gi) {
+    const Gate& g = module.gates()[gi];
+    if (gi == site.gate_index) {
+      map[g.out] = site.stuck_value ? kConst1 : kConst0;
+    } else {
+      map[g.out] = faulty.gate(g.kind, map[g.in[0]], map[g.in[1]], map[g.in[2]]);
+    }
+  }
+  for (const auto& port : module.outputs()) {
+    Bus bus(port.bus.size());
+    for (std::size_t i = 0; i < bus.size(); ++i) bus[i] = map[port.bus[i]];
+    faulty.add_output(port.name, bus);
+  }
+  return faulty;
+}
+
+bool is_fault_redundant(const Module& module, const FaultSite& site,
+                        std::size_t node_limit) {
+  return check_equivalence(module, inject_fault(module, site), node_limit).equivalent;
+}
+
+bool fault_detected(const Module& module, const FaultSite& site,
+                    const std::vector<std::vector<std::uint64_t>>& patterns) {
+  std::vector<std::uint8_t> values(module.net_count(), 0);
+  values[kConst1] = 1;
+  for (const auto& vec : patterns) {
+    for (std::size_t p = 0; p < vec.size(); ++p) {
+      const Bus& bus = module.inputs()[p].bus;
+      for (std::size_t i = 0; i < bus.size(); ++i) {
+        values[bus[i]] = static_cast<std::uint8_t>((vec[p] >> i) & 1u);
+      }
+    }
+    const std::uint64_t golden =
+        eval_with_fault(module, values, static_cast<std::size_t>(-1), false);
+    const std::uint64_t faulty =
+        eval_with_fault(module, values, site.gate_index, site.stuck_value);
+    if (faulty != golden) return true;
+  }
+  return false;
+}
+
+}  // namespace realm::hw

@@ -1,0 +1,249 @@
+#include "realm/hw/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace realm::hw {
+namespace {
+
+bool is_const(NetId n) { return n == kConst0 || n == kConst1; }
+bool cval(NetId n) { return n == kConst1; }
+
+}  // namespace
+
+Module::Module(std::string name) : name_{std::move(name)} {}
+
+NetId Module::new_net() {
+  const NetId id = next_net_++;
+  net_is_input_.resize(next_net_, 0);
+  return id;
+}
+
+Bus Module::add_input(const std::string& port, int width) {
+  if (width < 1) throw std::invalid_argument("Module::add_input: width >= 1");
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const NetId id = new_net();
+    net_is_input_[id] = 1;
+    bus.push_back(id);
+  }
+  inputs_.push_back({port, bus});
+  return bus;
+}
+
+void Module::add_output(const std::string& port, const Bus& bus) {
+  for (const NetId n : bus) {
+    if (n >= next_net_) throw std::invalid_argument("Module::add_output: unknown net");
+  }
+  outputs_.push_back({port, bus});
+}
+
+Bus Module::constant(std::uint64_t value, int width) const {
+  if (width < 0 || width > 64) throw std::invalid_argument("Module::constant: width");
+  Bus bus(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bus[static_cast<std::size_t>(i)] =
+      ((value >> i) & 1u) ? kConst1 : kConst0;
+  return bus;
+}
+
+NetId Module::gate(GateKind kind, NetId a, NetId b, NetId c) {
+  if (a >= next_net_ || b >= next_net_ || c >= next_net_) {
+    throw std::invalid_argument("Module::gate: operand net does not exist yet");
+  }
+
+  // Constant folding / algebraic simplification.  Only identities that a
+  // synthesis tool applies unconditionally; no sharing analysis.
+  switch (kind) {
+    case GateKind::kInv:
+      if (is_const(a)) return cval(a) ? kConst0 : kConst1;
+      break;
+    case GateKind::kBuf:
+      if (is_const(a)) return a;
+      break;
+    case GateKind::kAnd2:
+      if (a == kConst0 || b == kConst0) return kConst0;
+      if (a == kConst1) return b;
+      if (b == kConst1) return a;
+      if (a == b) return a;
+      break;
+    case GateKind::kOr2:
+      if (a == kConst1 || b == kConst1) return kConst1;
+      if (a == kConst0) return b;
+      if (b == kConst0) return a;
+      if (a == b) return a;
+      break;
+    case GateKind::kNand2:
+      if (a == kConst0 || b == kConst0) return kConst1;
+      if (a == kConst1) return inv(b);
+      if (b == kConst1) return inv(a);
+      if (a == b) return inv(a);
+      break;
+    case GateKind::kNor2:
+      if (a == kConst1 || b == kConst1) return kConst0;
+      if (a == kConst0) return inv(b);
+      if (b == kConst0) return inv(a);
+      if (a == b) return inv(a);
+      break;
+    case GateKind::kXor2:
+      if (a == b) return kConst0;
+      if (a == kConst0) return b;
+      if (b == kConst0) return a;
+      if (a == kConst1) return inv(b);
+      if (b == kConst1) return inv(a);
+      break;
+    case GateKind::kXnor2:
+      if (a == b) return kConst1;
+      if (a == kConst0) return inv(b);
+      if (b == kConst0) return inv(a);
+      if (a == kConst1) return b;
+      if (b == kConst1) return a;
+      break;
+    case GateKind::kMux2:
+      // (d0=a, d1=b, sel=c)
+      if (c == kConst0) return a;
+      if (c == kConst1) return b;
+      if (a == b) return a;
+      if (a == kConst0 && b == kConst1) return c;
+      if (a == kConst1 && b == kConst0) return inv(c);
+      // mux(s, 0, d1) = and(s, d1); mux(s, d0, 1) = or(~s ? ... ) etc.
+      if (a == kConst0) return and2(c, b);
+      if (b == kConst0) return and2(inv(c), a);
+      if (a == kConst1) return or2(inv(c), b);
+      if (b == kConst1) return or2(c, a);
+      break;
+  }
+
+  // Canonicalize commutative operand order so strash catches both forms.
+  switch (kind) {
+    case GateKind::kAnd2:
+    case GateKind::kOr2:
+    case GateKind::kNand2:
+    case GateKind::kNor2:
+    case GateKind::kXor2:
+    case GateKind::kXnor2:
+      if (a > b) std::swap(a, b);
+      break;
+    default:
+      break;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(kind) << 60) |
+                            (static_cast<std::uint64_t>(a) << 40) |
+                            (static_cast<std::uint64_t>(b) << 20) |
+                            static_cast<std::uint64_t>(c);
+  if (const auto it = strash_.find(key); it != strash_.end()) return it->second;
+
+  const NetId out = new_net();
+  gates_.push_back({kind, {a, b, c}, out});
+  strash_.emplace(key, out);
+  return out;
+}
+
+std::size_t Module::prune() {
+  std::vector<std::uint8_t> live(next_net_, 0);
+  live[kConst0] = live[kConst1] = 1;
+  for (const auto& p : outputs_) {
+    for (const NetId n : p.bus) live[n] = 1;
+  }
+  // Register data inputs are sequential sinks: their cones stay.
+  for (const auto& reg : registers_) live[reg.d] = 1;
+  // Gates are topologically ordered, so one reverse sweep marks the cone.
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+    if (live[it->out]) {
+      live[it->in[0]] = live[it->in[1]] = live[it->in[2]] = 1;
+    }
+  }
+  const std::size_t before = gates_.size();
+  std::erase_if(gates_, [&](const Gate& g) { return !live[g.out]; });
+  // Sharing hits on pruned gates would resurrect dangling nets; pruning is a
+  // terminal step, so drop the hash state.
+  strash_.clear();
+  return before - gates_.size();
+}
+
+NetId Module::add_register(NetId d) {
+  if (d >= next_net_) throw std::invalid_argument("add_register: unknown data net");
+  const NetId q = new_net();
+  registers_.push_back({q, d});
+  return q;
+}
+
+void Module::connect_register(NetId q, NetId d) {
+  if (d >= next_net_) throw std::invalid_argument("connect_register: unknown data net");
+  for (auto& reg : registers_) {
+    if (reg.q == q) {
+      reg.d = d;
+      return;
+    }
+  }
+  throw std::invalid_argument("connect_register: q is not a register output");
+}
+
+Bus Module::add_register_bus(const Bus& d) {
+  Bus q(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) q[i] = add_register(d[i]);
+  return q;
+}
+
+double Module::area_um2() const noexcept {
+  double area = 0.0;
+  for (const auto& g : gates_) area += cell_spec(g.kind).area_um2;
+  area += kDffAreaUm2 * static_cast<double>(registers_.size());
+  return area;
+}
+
+std::array<std::uint32_t, kGateKindCount> Module::gate_histogram() const noexcept {
+  std::array<std::uint32_t, kGateKindCount> hist{};
+  for (const auto& g : gates_) ++hist[static_cast<std::size_t>(g.kind)];
+  return hist;
+}
+
+bool Module::is_input_net(NetId net) const noexcept {
+  return net < net_is_input_.size() && net_is_input_[net] != 0;
+}
+
+std::vector<Bus> Module::instantiate(const Module& sub,
+                                     const std::vector<Bus>& input_buses) {
+  const auto& ports = sub.inputs();
+  if (input_buses.size() != ports.size()) {
+    throw std::invalid_argument("Module::instantiate: input port count mismatch");
+  }
+  std::vector<NetId> map(sub.net_count(), kConst0);
+  map[kConst0] = kConst0;
+  map[kConst1] = kConst1;
+  for (std::size_t p = 0; p < ports.size(); ++p) {
+    if (input_buses[p].size() != ports[p].bus.size()) {
+      throw std::invalid_argument("Module::instantiate: input width mismatch on port '" +
+                                  ports[p].name + "'");
+    }
+    for (std::size_t i = 0; i < ports[p].bus.size(); ++i) {
+      const NetId bound = input_buses[p][i];
+      if (bound >= next_net_) {
+        throw std::invalid_argument("Module::instantiate: unknown net bound to input");
+      }
+      map[ports[p].bus[i]] = bound;
+    }
+  }
+  // Sub registers first: their q nets are sources for the gate sweep; data
+  // inputs (which may reference later nets — feedback) bind afterwards.
+  for (const auto& reg : sub.registers()) {
+    map[reg.q] = add_register();
+  }
+  for (const Gate& g : sub.gates()) {
+    map[g.out] = gate(g.kind, map[g.in[0]], map[g.in[1]], map[g.in[2]]);
+  }
+  for (const auto& reg : sub.registers()) {
+    connect_register(map[reg.q], map[reg.d]);
+  }
+  std::vector<Bus> outputs;
+  outputs.reserve(sub.outputs().size());
+  for (const auto& op : sub.outputs()) {
+    Bus bus(op.bus.size());
+    for (std::size_t i = 0; i < op.bus.size(); ++i) bus[i] = map[op.bus[i]];
+    outputs.push_back(std::move(bus));
+  }
+  return outputs;
+}
+
+}  // namespace realm::hw

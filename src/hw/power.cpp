@@ -1,0 +1,77 @@
+#include "realm/hw/power.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "realm/hw/simulator.hpp"
+#include "realm/numeric/rng.hpp"
+
+namespace realm::hw {
+
+namespace {
+
+// Shared stimulus loop over either simulator back end.
+template <typename Sim, typename Step, typename Counts>
+PowerReport run_stimulus(const Module& module, const StimulusProfile& profile,
+                         Sim& sim, Step step, Counts counts) {
+  num::Xoshiro256 rng{profile.seed};
+
+  // Build the initial vector with P(1) = probability, then evolve each bit
+  // with the requested toggle rate (this keeps the stationary probability).
+  const auto& ports = module.inputs();
+  std::vector<std::uint64_t> state(ports.size(), 0);
+  for (std::size_t p = 0; p < ports.size(); ++p) {
+    for (std::size_t b = 0; b < ports[p].bus.size(); ++b) {
+      if (rng.uniform() < profile.probability) state[p] |= std::uint64_t{1} << b;
+    }
+    sim.set_input(p, state[p]);
+  }
+  step();  // primes previous-state without counting
+
+  for (std::uint32_t cycle = 0; cycle < profile.cycles; ++cycle) {
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+      std::uint64_t flips = 0;
+      for (std::size_t b = 0; b < ports[p].bus.size(); ++b) {
+        if (rng.uniform() < profile.toggle_rate) flips |= std::uint64_t{1} << b;
+      }
+      state[p] ^= flips;
+      sim.set_input(p, state[p]);
+    }
+    step();
+  }
+
+  PowerReport report;
+  const auto& gates = module.gates();
+  const double cycles = static_cast<double>(sim.cycles());
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    const CellSpec& spec = cell_spec(gates[gi].kind);
+    report.dynamic += spec.switch_energy_rel * static_cast<double>(counts(gi)) / cycles;
+    report.leakage += spec.leakage_rel;
+  }
+  return report;
+}
+
+}  // namespace
+
+PowerReport estimate_power(const Module& module, const StimulusProfile& profile) {
+  if (module.is_sequential()) {
+    throw std::invalid_argument("estimate_power: combinational modules only");
+  }
+  PowerReport report;
+  if (profile.count_glitches) {
+    TimedSimulator sim{module};
+    report = run_stimulus(module, profile, sim, [&] { sim.settle(); },
+                          [&](std::size_t gi) { return sim.transitions(gi); });
+  } else {
+    Simulator sim{module};
+    report = run_stimulus(module, profile, sim, [&] { sim.eval(); },
+                          [&](std::size_t gi) { return sim.toggles(gi); });
+  }
+  // Leakage is a small fraction of total power at 45 nm / 1 GHz; the
+  // relative weight here (~5 % for the accurate multiplier) is absorbed by
+  // the calibration either way.
+  report.leakage *= 0.01;
+  return report;
+}
+
+}  // namespace realm::hw

@@ -1,0 +1,269 @@
+#include "realm/hw/simulator.hpp"
+
+#include <stdexcept>
+
+namespace realm::hw {
+
+Simulator::Simulator(const Module& module) : module_{&module} {
+  if (module.is_sequential()) {
+    throw std::invalid_argument(
+        "Simulator is combinational-only; use SequentialSimulator");
+  }
+  values_.assign(module.net_count(), 0);
+  values_[kConst1] = 1;
+  toggle_counts_.assign(module.gates().size(), 0);
+}
+
+void Simulator::set_input(std::size_t index, std::uint64_t value) {
+  const auto& ports = module_->inputs();
+  if (index >= ports.size()) throw std::out_of_range("Simulator::set_input");
+  const Bus& bus = ports[index].bus;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    values_[bus[i]] = static_cast<std::uint8_t>((value >> i) & 1u);
+  }
+}
+
+void Simulator::eval() {
+  const auto& gates = module_->gates();
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    const Gate& g = gates[gi];
+    const std::uint8_t a = values_[g.in[0]];
+    const std::uint8_t b = values_[g.in[1]];
+    const std::uint8_t c = values_[g.in[2]];
+    std::uint8_t out = 0;
+    switch (g.kind) {
+      case GateKind::kInv: out = a ^ 1u; break;
+      case GateKind::kBuf: out = a; break;
+      case GateKind::kAnd2: out = a & b; break;
+      case GateKind::kOr2: out = a | b; break;
+      case GateKind::kNand2: out = (a & b) ^ 1u; break;
+      case GateKind::kNor2: out = (a | b) ^ 1u; break;
+      case GateKind::kXor2: out = a ^ b; break;
+      case GateKind::kXnor2: out = a ^ b ^ 1u; break;
+      case GateKind::kMux2: out = c ? b : a; break;
+    }
+    if (primed_ && out != values_[g.out]) ++toggle_counts_[gi];
+    values_[g.out] = out;
+  }
+  if (primed_) ++cycles_;
+  primed_ = true;
+}
+
+std::uint64_t Simulator::output(std::size_t index) const {
+  const auto& ports = module_->outputs();
+  if (index >= ports.size()) throw std::out_of_range("Simulator::output");
+  return read(ports[index].bus);
+}
+
+std::uint64_t Simulator::read(const Bus& bus) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    v |= static_cast<std::uint64_t>(values_[bus[i]] & 1u) << i;
+  }
+  return v;
+}
+
+std::uint64_t Simulator::run(const std::vector<std::uint64_t>& input_values) {
+  if (input_values.size() != module_->inputs().size()) {
+    throw std::invalid_argument("Simulator::run: input count mismatch");
+  }
+  for (std::size_t i = 0; i < input_values.size(); ++i) set_input(i, input_values[i]);
+  eval();
+  return output(0);
+}
+
+std::uint64_t Simulator::toggles(std::size_t gate_index) const {
+  if (gate_index >= toggle_counts_.size()) throw std::out_of_range("Simulator::toggles");
+  return toggle_counts_[gate_index];
+}
+
+void Simulator::reset_activity() {
+  toggle_counts_.assign(toggle_counts_.size(), 0);
+  cycles_ = 0;
+  primed_ = false;
+}
+
+SequentialSimulator::SequentialSimulator(const Module& module) : module_{&module} {
+  values_.assign(module.net_count(), 0);
+  values_[kConst1] = 1;
+}
+
+void SequentialSimulator::set_input(std::size_t index, std::uint64_t value) {
+  const auto& ports = module_->inputs();
+  if (index >= ports.size()) throw std::out_of_range("SequentialSimulator::set_input");
+  const Bus& bus = ports[index].bus;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    values_[bus[i]] = static_cast<std::uint8_t>((value >> i) & 1u);
+  }
+}
+
+void SequentialSimulator::settle_combinational() {
+  for (const Gate& g : module_->gates()) {
+    const std::uint8_t a = values_[g.in[0]];
+    const std::uint8_t b = values_[g.in[1]];
+    const std::uint8_t c = values_[g.in[2]];
+    std::uint8_t out = 0;
+    switch (g.kind) {
+      case GateKind::kInv: out = a ^ 1u; break;
+      case GateKind::kBuf: out = a; break;
+      case GateKind::kAnd2: out = a & b; break;
+      case GateKind::kOr2: out = a | b; break;
+      case GateKind::kNand2: out = (a & b) ^ 1u; break;
+      case GateKind::kNor2: out = (a | b) ^ 1u; break;
+      case GateKind::kXor2: out = a ^ b; break;
+      case GateKind::kXnor2: out = a ^ b ^ 1u; break;
+      case GateKind::kMux2: out = c ? b : a; break;
+    }
+    values_[g.out] = out;
+  }
+}
+
+void SequentialSimulator::step() {
+  settle_combinational();
+  // Simultaneous register update: sample all D inputs, then commit.
+  std::vector<std::uint8_t> next(module_->registers().size());
+  for (std::size_t r = 0; r < module_->registers().size(); ++r) {
+    next[r] = values_[module_->registers()[r].d];
+  }
+  for (std::size_t r = 0; r < module_->registers().size(); ++r) {
+    values_[module_->registers()[r].q] = next[r];
+  }
+  ++cycles_;
+}
+
+std::uint64_t SequentialSimulator::output(std::size_t index) const {
+  const auto& ports = module_->outputs();
+  if (index >= ports.size()) throw std::out_of_range("SequentialSimulator::output");
+  return read(ports[index].bus);
+}
+
+std::uint64_t SequentialSimulator::read(const Bus& bus) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    v |= static_cast<std::uint64_t>(values_[bus[i]] & 1u) << i;
+  }
+  return v;
+}
+
+void SequentialSimulator::reset() {
+  for (const auto& reg : module_->registers()) values_[reg.q] = 0;
+  cycles_ = 0;
+}
+
+TimedSimulator::TimedSimulator(const Module& module) : module_{&module} {
+  if (module.is_sequential()) {
+    throw std::invalid_argument(
+        "TimedSimulator is combinational-only; use SequentialSimulator");
+  }
+  values_.assign(module.net_count(), 0);
+  values_[kConst1] = 1;
+  const auto& gates = module.gates();
+  transition_counts_.assign(gates.size(), 0);
+  fanout_.resize(module.net_count());
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    for (const NetId in : gates[gi].in) {
+      if (in != kConst0 && in != kConst1) {
+        fanout_[in].push_back(static_cast<std::uint32_t>(gi));
+      }
+    }
+  }
+  // All gates start dirty: the first settle() derives the consistent state
+  // from the constant rails (uncounted — priming).
+  gate_marked_.assign(gates.size(), 1);
+  dirty_gates_.resize(gates.size());
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    dirty_gates_[gi] = static_cast<std::uint32_t>(gi);
+  }
+}
+
+std::uint8_t TimedSimulator::eval_gate(const Gate& g) const {
+  const std::uint8_t a = values_[g.in[0]];
+  const std::uint8_t b = values_[g.in[1]];
+  const std::uint8_t c = values_[g.in[2]];
+  switch (g.kind) {
+    case GateKind::kInv: return a ^ 1u;
+    case GateKind::kBuf: return a;
+    case GateKind::kAnd2: return a & b;
+    case GateKind::kOr2: return a | b;
+    case GateKind::kNand2: return (a & b) ^ 1u;
+    case GateKind::kNor2: return (a | b) ^ 1u;
+    case GateKind::kXor2: return a ^ b;
+    case GateKind::kXnor2: return a ^ b ^ 1u;
+    case GateKind::kMux2: return c ? b : a;
+  }
+  return 0;
+}
+
+void TimedSimulator::set_input(std::size_t index, std::uint64_t value) {
+  const auto& ports = module_->inputs();
+  if (index >= ports.size()) throw std::out_of_range("TimedSimulator::set_input");
+  const Bus& bus = ports[index].bus;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    const auto bit = static_cast<std::uint8_t>((value >> i) & 1u);
+    if (values_[bus[i]] != bit) {
+      values_[bus[i]] = bit;
+      for (const std::uint32_t gi : fanout_[bus[i]]) {
+        if (!gate_marked_[gi]) {
+          gate_marked_[gi] = 1;
+          dirty_gates_.push_back(gi);
+        }
+      }
+    }
+  }
+}
+
+void TimedSimulator::settle() {
+  const auto& gates = module_->gates();
+  const bool count = primed_;
+  // Each wave is one unit of delay: every gate whose input changed in the
+  // previous wave re-evaluates simultaneously.
+  std::vector<std::uint32_t> wave = std::move(dirty_gates_);
+  dirty_gates_.clear();
+  for (const std::uint32_t gi : wave) gate_marked_[gi] = 0;
+
+  while (!wave.empty()) {
+    // Evaluate the whole wave against current values first (simultaneity),
+    // then commit, so intra-wave ordering cannot leak through.
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> updates;
+    updates.reserve(wave.size());
+    for (const std::uint32_t gi : wave) {
+      const std::uint8_t nv = eval_gate(gates[gi]);
+      if (nv != values_[gates[gi].out]) updates.emplace_back(gi, nv);
+    }
+    std::vector<std::uint32_t> next;
+    for (const auto& [gi, nv] : updates) {
+      values_[gates[gi].out] = nv;
+      if (count) ++transition_counts_[gi];
+      for (const std::uint32_t fo : fanout_[gates[gi].out]) {
+        if (!gate_marked_[fo]) {
+          gate_marked_[fo] = 1;
+          next.push_back(fo);
+        }
+      }
+    }
+    for (const std::uint32_t gi : next) gate_marked_[gi] = 0;
+    wave = std::move(next);
+  }
+  if (primed_) ++cycles_;
+  primed_ = true;
+}
+
+std::uint64_t TimedSimulator::output(std::size_t index) const {
+  const auto& ports = module_->outputs();
+  if (index >= ports.size()) throw std::out_of_range("TimedSimulator::output");
+  std::uint64_t v = 0;
+  const Bus& bus = ports[index].bus;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    v |= static_cast<std::uint64_t>(values_[bus[i]] & 1u) << i;
+  }
+  return v;
+}
+
+std::uint64_t TimedSimulator::transitions(std::size_t gate_index) const {
+  if (gate_index >= transition_counts_.size()) {
+    throw std::out_of_range("TimedSimulator::transitions");
+  }
+  return transition_counts_[gate_index];
+}
+
+}  // namespace realm::hw

@@ -1,0 +1,315 @@
+#include "realm/jpeg/codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <stdexcept>
+
+#include "realm/jpeg/dct.hpp"
+#include "realm/jpeg/huffman.hpp"
+#include "realm/jpeg/quant.hpp"
+
+namespace realm::jpeg {
+namespace {
+
+// JPEG-style magnitude category: number of bits to represent |v|.
+int category(int v) {
+  int a = v < 0 ? -v : v;
+  int c = 0;
+  while (a != 0) {
+    a >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+// JPEG variable-length integer: negative values are stored one's-complement.
+std::uint32_t vli_bits(int v, int cat) {
+  return v >= 0 ? static_cast<std::uint32_t>(v)
+                : static_cast<std::uint32_t>(v + (1 << cat) - 1);
+}
+
+int vli_decode(std::uint32_t bits, int cat) {
+  if (cat == 0) return 0;
+  const auto half = std::uint32_t{1} << (cat - 1);
+  return bits >= half ? static_cast<int>(bits)
+                      : static_cast<int>(bits) - ((1 << cat) - 1);
+}
+
+// Symbol alphabets: DC = category (0..15); AC = (run << 4) | category plus
+// the JPEG EOB (0x00) and ZRL (0xF0) escapes.
+constexpr int kDcSymbols = 16;
+constexpr int kAcSymbols = 256;
+constexpr int kEob = 0x00;
+constexpr int kZrl = 0xF0;
+
+struct BlockCodes {
+  std::vector<std::pair<int, std::pair<std::uint32_t, int>>> tokens;  // (symbol, (extra, bits))
+};
+
+num::UMulFn effective_mul(const CodecOptions& opts) {
+  if (opts.umul) return opts.umul;
+  return [](std::uint64_t a, std::uint64_t b) { return a * b; };
+}
+
+num::UMulFn dequant_mul(const CodecOptions& opts) {
+  if (opts.approximate_dequant) return effective_mul(opts);
+  return [](std::uint64_t a, std::uint64_t b) { return a * b; };
+}
+
+void forward_block(const Image& img, int bx, int by, const num::UMulFn& mul,
+                   const std::array<std::uint16_t, 64>& qtable,
+                   std::array<std::int16_t, 64>& levels) {
+  std::array<std::int16_t, 64> block{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      block[static_cast<std::size_t>(y * 8 + x)] =
+          static_cast<std::int16_t>(img.at(bx + x, by + y) - 128);
+    }
+  }
+  std::array<std::int16_t, 64> coeffs{};
+  fdct8x8(block, coeffs, mul);
+  for (int i = 0; i < 64; ++i) {
+    levels[static_cast<std::size_t>(i)] = quantize(coeffs[static_cast<std::size_t>(i)],
+                                                   qtable[static_cast<std::size_t>(i)]);
+  }
+}
+
+void inverse_block(const std::array<std::int16_t, 64>& levels,
+                   const std::array<std::uint16_t, 64>& qtable, const num::UMulFn& mul,
+                   const num::UMulFn& dq_mul, Image& img, int bx, int by) {
+  std::array<std::int16_t, 64> coeffs{};
+  for (int i = 0; i < 64; ++i) {
+    coeffs[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(num::sat_signed(
+        dequantize(levels[static_cast<std::size_t>(i)], qtable[static_cast<std::size_t>(i)],
+                   dq_mul),
+        16));
+  }
+  std::array<std::int16_t, 64> pixels{};
+  idct8x8(coeffs, pixels, mul);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const int v = pixels[static_cast<std::size_t>(y * 8 + x)] + 128;
+      img.set(bx + x, by + y, static_cast<std::uint8_t>(std::clamp(v, 0, 255)));
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t Compressed::size_bytes() const noexcept {
+  return payload.size() + dc_code_lengths.size() + ac_code_lengths.size() + 16;
+}
+
+Compressed encode(const Image& img, const CodecOptions& opts) {
+  return encode_plane(img, scaled_table(opts.quality), opts);
+}
+
+Compressed encode_plane(const Image& img, const std::array<std::uint16_t, 64>& qtable,
+                        const CodecOptions& opts) {
+  if (img.width() % 8 != 0 || img.height() % 8 != 0) {
+    throw std::invalid_argument("encode: dimensions must be multiples of 8");
+  }
+  const num::UMulFn mul = effective_mul(opts);
+  const auto& zz = zigzag_order();
+
+  // Pass 1: transform all blocks, tokenize, gather symbol statistics.
+  std::vector<BlockCodes> blocks;
+  std::vector<std::uint64_t> dc_freq(kDcSymbols, 0);
+  std::vector<std::uint64_t> ac_freq(kAcSymbols, 0);
+  int prev_dc = 0;
+  for (int by = 0; by < img.height(); by += 8) {
+    for (int bx = 0; bx < img.width(); bx += 8) {
+      std::array<std::int16_t, 64> levels{};
+      forward_block(img, bx, by, mul, qtable, levels);
+
+      BlockCodes bc;
+      const int dc = levels[0];
+      const int diff = dc - prev_dc;
+      prev_dc = dc;
+      const int dcat = category(diff);
+      bc.tokens.push_back({dcat, {vli_bits(diff, dcat), dcat}});
+      ++dc_freq[static_cast<std::size_t>(dcat)];
+
+      int run = 0;
+      for (int i = 1; i < 64; ++i) {
+        const int v = levels[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])];
+        if (v == 0) {
+          ++run;
+          continue;
+        }
+        while (run >= 16) {
+          bc.tokens.push_back({-kZrl - 1, {0, 0}});  // negative marks AC symbol
+          ++ac_freq[kZrl];
+          run -= 16;
+        }
+        const int cat = category(v);
+        const int sym = (run << 4) | cat;
+        bc.tokens.push_back({-sym - 1, {vli_bits(v, cat), cat}});
+        ++ac_freq[static_cast<std::size_t>(sym)];
+        run = 0;
+      }
+      if (run > 0) {
+        bc.tokens.push_back({-kEob - 1, {0, 0}});
+        ++ac_freq[kEob];
+      }
+      blocks.push_back(std::move(bc));
+    }
+  }
+
+  const HuffmanCode dc_code = HuffmanCode::from_frequencies(dc_freq);
+  const HuffmanCode ac_code = HuffmanCode::from_frequencies(ac_freq);
+
+  // Pass 2: emit the bitstream.
+  BitWriter w;
+  for (const auto& bc : blocks) {
+    for (const auto& [sym, extra] : bc.tokens) {
+      if (sym >= 0) {
+        dc_code.encode(w, sym);
+      } else {
+        ac_code.encode(w, -sym - 1);
+      }
+      if (extra.second > 0) w.put(extra.first, extra.second);
+    }
+  }
+
+  Compressed out;
+  out.width = img.width();
+  out.height = img.height();
+  out.quality = opts.quality;
+  out.payload = w.finish();
+  out.dc_code_lengths = dc_code.lengths();
+  out.ac_code_lengths = ac_code.lengths();
+  return out;
+}
+
+Image decode(const Compressed& c, const CodecOptions& opts) {
+  return decode_plane(c, scaled_table(c.quality), opts);
+}
+
+Image decode_plane(const Compressed& c, const std::array<std::uint16_t, 64>& qtable,
+                   const CodecOptions& opts) {
+  const num::UMulFn mul = effective_mul(opts);
+  const num::UMulFn dq = dequant_mul(opts);
+  const auto& zz = zigzag_order();
+  const HuffmanCode dc_code = HuffmanCode::from_lengths(c.dc_code_lengths);
+  const HuffmanCode ac_code = HuffmanCode::from_lengths(c.ac_code_lengths);
+
+  Image img{c.width, c.height};
+  BitReader r{c.payload};
+  int prev_dc = 0;
+  for (int by = 0; by < c.height; by += 8) {
+    for (int bx = 0; bx < c.width; bx += 8) {
+      std::array<std::int16_t, 64> levels{};
+      const int dcat = dc_code.decode(r);
+      const int diff = vli_decode(dcat > 0 ? r.get(dcat) : 0, dcat);
+      prev_dc += diff;
+      levels[0] = static_cast<std::int16_t>(prev_dc);
+
+      int i = 1;
+      while (i < 64) {
+        const int sym = ac_code.decode(r);
+        if (sym == kEob) break;
+        if (sym == kZrl) {
+          i += 16;
+          continue;
+        }
+        const int run = sym >> 4;
+        const int cat = sym & 0xF;
+        i += run;
+        if (i >= 64) throw std::runtime_error("decode: AC index overflow");
+        levels[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])] =
+            static_cast<std::int16_t>(vli_decode(cat > 0 ? r.get(cat) : 0, cat));
+        ++i;
+      }
+      inverse_block(levels, qtable, mul, dq, img, bx, by);
+    }
+  }
+  return img;
+}
+
+Image roundtrip(const Image& img, const CodecOptions& opts) {
+  return decode(encode(img, opts), opts);
+}
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x524A5047;  // "RJPG"
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  if (pos + 4 > in.size()) throw std::runtime_error("deserialize: truncated blob");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
+  return v;
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, const std::vector<std::uint8_t>& bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> get_bytes(const std::vector<std::uint8_t>& in,
+                                    std::size_t& pos) {
+  const std::uint32_t size = get_u32(in, pos);
+  if (pos + size > in.size()) throw std::runtime_error("deserialize: truncated blob");
+  std::vector<std::uint8_t> bytes(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                                  in.begin() + static_cast<std::ptrdiff_t>(pos + size));
+  pos += size;
+  return bytes;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Compressed& c) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u32(out, static_cast<std::uint32_t>(c.width));
+  put_u32(out, static_cast<std::uint32_t>(c.height));
+  put_u32(out, static_cast<std::uint32_t>(c.quality));
+  put_bytes(out, c.dc_code_lengths);
+  put_bytes(out, c.ac_code_lengths);
+  put_bytes(out, c.payload);
+  return out;
+}
+
+Compressed deserialize(const std::vector<std::uint8_t>& blob) {
+  std::size_t pos = 0;
+  if (get_u32(blob, pos) != kMagic) {
+    throw std::runtime_error("deserialize: not an RJPG blob");
+  }
+  Compressed c;
+  c.width = static_cast<int>(get_u32(blob, pos));
+  c.height = static_cast<int>(get_u32(blob, pos));
+  c.quality = static_cast<int>(get_u32(blob, pos));
+  if (c.width <= 0 || c.height <= 0 || c.width % 8 != 0 || c.height % 8 != 0 ||
+      c.quality < 1 || c.quality > 100) {
+    throw std::runtime_error("deserialize: implausible header");
+  }
+  c.dc_code_lengths = get_bytes(blob, pos);
+  c.ac_code_lengths = get_bytes(blob, pos);
+  c.payload = get_bytes(blob, pos);
+  return c;
+}
+
+void write_compressed(const Compressed& c, const std::string& path) {
+  std::ofstream os{path, std::ios::binary};
+  if (!os) throw std::runtime_error("write_compressed: cannot open " + path);
+  const auto blob = serialize(c);
+  os.write(reinterpret_cast<const char*>(blob.data()),
+           static_cast<std::streamsize>(blob.size()));
+  if (!os) throw std::runtime_error("write_compressed: write failed for " + path);
+}
+
+Compressed read_compressed(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) throw std::runtime_error("read_compressed: cannot open " + path);
+  std::vector<std::uint8_t> blob{std::istreambuf_iterator<char>{is},
+                                 std::istreambuf_iterator<char>{}};
+  return deserialize(blob);
+}
+
+}  // namespace realm::jpeg

@@ -1,0 +1,83 @@
+#include "realm/jpeg/dct.hpp"
+
+#include <cmath>
+
+#include "realm/numeric/fixed_point.hpp"
+
+namespace realm::jpeg {
+namespace {
+
+std::array<std::int16_t, 64> make_matrix() {
+  std::array<std::int16_t, 64> c{};
+  const double pi = std::acos(-1.0);
+  for (int u = 0; u < 8; ++u) {
+    const double s = (u == 0) ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+    for (int k = 0; k < 8; ++k) {
+      const double v = s * std::cos((2 * k + 1) * u * pi / 16.0);
+      c[static_cast<std::size_t>(u * 8 + k)] =
+          static_cast<std::int16_t>(std::lround(v * (1 << kDctCoeffBits)));
+    }
+  }
+  return c;
+}
+
+// One 8-point transform pass: out[u] = Σ_k m[u][k] · in[k], products through
+// the multiplier under test, accumulated in 32 bits and rescaled once — a
+// fixed-point MAC datapath.  `transpose_m` applies mᵀ instead.
+void pass(const std::array<std::int16_t, 64>& m, const std::int32_t in[8],
+          std::int32_t out[8], bool transpose_m, const num::UMulFn& umul) {
+  for (int u = 0; u < 8; ++u) {
+    std::int64_t acc = 0;
+    for (int k = 0; k < 8; ++k) {
+      const std::int16_t coeff =
+          m[static_cast<std::size_t>(transpose_m ? k * 8 + u : u * 8 + k)];
+      acc += num::signed_mul(coeff, in[k], umul);
+    }
+    // Round-to-nearest rescale by 2^-12, then clamp to the 16-bit datapath.
+    const std::int64_t rounded =
+        (acc + (acc >= 0 ? (1 << (kDctCoeffBits - 1)) : -(1 << (kDctCoeffBits - 1)))) >>
+        kDctCoeffBits;
+    out[u] = num::sat_signed(rounded, 16);
+  }
+}
+
+void transform(const std::array<std::int16_t, 64>& in, std::array<std::int16_t, 64>& out,
+               bool inverse, const num::UMulFn& umul) {
+  const auto& c = dct_matrix_q12();
+  std::int32_t tmp[64];
+  // Column pass: tmp = M · in (M = C forward, Cᵀ inverse).
+  for (int j = 0; j < 8; ++j) {
+    std::int32_t col[8], res[8];
+    for (int k = 0; k < 8; ++k) col[k] = in[static_cast<std::size_t>(k * 8 + j)];
+    pass(c, col, res, inverse, umul);
+    for (int u = 0; u < 8; ++u) tmp[u * 8 + j] = res[u];
+  }
+  // Row pass: out = tmp · Mᵀ.
+  for (int i = 0; i < 8; ++i) {
+    std::int32_t row[8], res[8];
+    for (int k = 0; k < 8; ++k) row[k] = tmp[i * 8 + k];
+    pass(c, row, res, inverse, umul);
+    for (int v = 0; v < 8; ++v) {
+      out[static_cast<std::size_t>(i * 8 + v)] = static_cast<std::int16_t>(res[v]);
+    }
+  }
+}
+
+}  // namespace
+
+const std::array<std::int16_t, 64>& dct_matrix_q12() {
+  static const std::array<std::int16_t, 64> c = make_matrix();
+  return c;
+}
+
+void fdct8x8(const std::array<std::int16_t, 64>& block, std::array<std::int16_t, 64>& out,
+             const num::UMulFn& umul) {
+  transform(block, out, /*inverse=*/false, umul);
+}
+
+void idct8x8(const std::array<std::int16_t, 64>& coeffs,
+             std::array<std::int16_t, 64>& out, const num::UMulFn& umul) {
+  transform(coeffs, out, /*inverse=*/true, umul);
+}
+
+}  // namespace realm::jpeg

@@ -1,0 +1,28 @@
+#include "realm/jpeg/quality.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace realm::jpeg {
+
+double mse(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("mse: image size mismatch");
+  }
+  if (a.pixels().empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    const double d = static_cast<double>(a.pixels()[i]) - static_cast<double>(b.pixels()[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.pixels().size());
+}
+
+double psnr(const Image& a, const Image& b) {
+  const double m = mse(a, b);
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+}  // namespace realm::jpeg

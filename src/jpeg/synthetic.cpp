@@ -1,0 +1,158 @@
+#include "realm/jpeg/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "realm/numeric/rng.hpp"
+
+namespace realm::jpeg {
+namespace {
+
+// Smooth value noise: a coarse random lattice, bilinearly interpolated with
+// smoothstep, octaves summed.  Deterministic per seed.
+class ValueNoise {
+ public:
+  ValueNoise(int lattice, std::uint64_t seed) : n_{lattice} {
+    num::Xoshiro256 rng{seed};
+    grid_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+    for (auto& g : grid_) g = rng.uniform();
+  }
+
+  [[nodiscard]] double at(double x, double y) const {  // x, y in [0, 1)
+    const double gx = x * (n_ - 1);
+    const double gy = y * (n_ - 1);
+    const int x0 = std::min(static_cast<int>(gx), n_ - 2);
+    const int y0 = std::min(static_cast<int>(gy), n_ - 2);
+    const double fx = smooth(gx - x0);
+    const double fy = smooth(gy - y0);
+    const double a = g(x0, y0), b = g(x0 + 1, y0), c = g(x0, y0 + 1), d = g(x0 + 1, y0 + 1);
+    return (a * (1 - fx) + b * fx) * (1 - fy) + (c * (1 - fx) + d * fx) * fy;
+  }
+
+ private:
+  static double smooth(double t) { return t * t * (3.0 - 2.0 * t); }
+  [[nodiscard]] double g(int x, int y) const {
+    return grid_[static_cast<std::size_t>(y) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(x)];
+  }
+  int n_;
+  std::vector<double> grid_;
+};
+
+std::uint8_t to_px(double v) {
+  return static_cast<std::uint8_t>(std::clamp(std::lround(v), 0L, 255L));
+}
+
+double ellipse(double x, double y, double cx, double cy, double rx, double ry) {
+  const double dx = (x - cx) / rx, dy = (y - cy) / ry;
+  return dx * dx + dy * dy;  // < 1 inside
+}
+
+}  // namespace
+
+Image synthetic_cameraman(int size) {
+  Image img{size, size};
+  const ValueNoise grass{24, 0xCA11E7u};
+  const ValueNoise cloth{12, 0xC0A7u};
+  for (int yi = 0; yi < size; ++yi) {
+    for (int xi = 0; xi < size; ++xi) {
+      const double x = (xi + 0.5) / size, y = (yi + 0.5) / size;
+      // Bright sky with a soft vertical gradient.
+      double v = 210.0 - 50.0 * y;
+      // Ground: textured grass on the lower quarter.
+      if (y > 0.72) {
+        v = 95.0 + 55.0 * grass.at(x, y) + 20.0 * (y - 0.72);
+      }
+      // Figure: head, torso (coat), arm; dark with cloth texture.
+      const bool head = ellipse(x, y, 0.42, 0.22, 0.075, 0.095) < 1.0;
+      const bool torso = ellipse(x, y, 0.42, 0.52, 0.16, 0.30) < 1.0 && y < 0.78;
+      const bool arm = ellipse(x, y, 0.55, 0.42, 0.16, 0.05) < 1.0;
+      if (head || torso || arm) v = 28.0 + 30.0 * cloth.at(x, y);
+      // Face patch on the head.
+      if (ellipse(x, y, 0.425, 0.225, 0.045, 0.06) < 1.0) v = 150.0 - 40.0 * y;
+      // Tripod: three thin dark legs in the lower-right.
+      const auto leg = [&](double x0, double slope) {
+        const double d = std::fabs((x - x0) - slope * (y - 0.55));
+        return y > 0.55 && y < 0.95 && d < 0.006;
+      };
+      if (leg(0.72, 0.0) || leg(0.72, 0.22) || leg(0.72, -0.22)) v = 20.0;
+      // Camera box on the tripod.
+      if (x > 0.665 && x < 0.775 && y > 0.46 && y < 0.56) v = 35.0;
+      img.set(xi, yi, to_px(v));
+    }
+  }
+  return img;
+}
+
+Image synthetic_lena(int size) {
+  Image img{size, size};
+  const ValueNoise soft{8, 0x1E9Au};
+  const ValueNoise fine{48, 0xFEA7u};
+  for (int yi = 0; yi < size; ++yi) {
+    for (int xi = 0; xi < size; ++xi) {
+      const double x = (xi + 0.5) / size, y = (yi + 0.5) / size;
+      // Warm mid-tone background with diagonal lighting.
+      double v = 120.0 + 60.0 * soft.at(x, y) + 25.0 * (x - y);
+      // Large smooth oval (face) with gentle shading.
+      if (ellipse(x, y, 0.52, 0.42, 0.22, 0.28) < 1.0) {
+        v = 165.0 - 45.0 * ellipse(x, y, 0.52, 0.42, 0.22, 0.28) + 8.0 * fine.at(x, y);
+      }
+      // Hat brim: dark curved band above the face.
+      const double band = ellipse(x, y, 0.52, 0.23, 0.33, 0.14);
+      if (band < 1.0 && band > 0.45) v = 45.0 + 40.0 * soft.at(y, x);
+      // Shoulder: smooth dark region lower-left.
+      if (ellipse(x, y, 0.25, 0.95, 0.35, 0.38) < 1.0) v = 95.0 + 20.0 * soft.at(x, y);
+      // Mild film grain.
+      v += 6.0 * (fine.at(y, x) - 0.5);
+      img.set(xi, yi, to_px(v));
+    }
+  }
+  return img;
+}
+
+Image synthetic_livingroom(int size) {
+  Image img{size, size};
+  const ValueNoise wall{6, 0x11F0u};
+  const ValueNoise rug{32, 0xA5A5u};
+  for (int yi = 0; yi < size; ++yi) {
+    for (int xi = 0; xi < size; ++xi) {
+      const double x = (xi + 0.5) / size, y = (yi + 0.5) / size;
+      // Wall with soft lighting; floor below 0.62.
+      double v = y < 0.62 ? 170.0 - 35.0 * y + 15.0 * wall.at(x, y)
+                          : 110.0 + 18.0 * wall.at(x, y);
+      // Rug: strongly textured band on the floor.
+      if (y > 0.74) v = 90.0 + 70.0 * rug.at(x * 2.0 - std::floor(x * 2.0), y);
+      // Window: bright rectangle with dark frame.
+      if (x > 0.08 && x < 0.34 && y > 0.10 && y < 0.42) {
+        v = 235.0 - 20.0 * y;
+        if (x < 0.095 || x > 0.325 || y < 0.115 || y > 0.405 ||
+            std::fabs(x - 0.21) < 0.006) {
+          v = 60.0;
+        }
+      }
+      // Sofa: big dark rectangle with cushion separations.
+      if (x > 0.42 && x < 0.92 && y > 0.40 && y < 0.68) {
+        v = 75.0 + 15.0 * wall.at(y, x);
+        if (std::fabs(x - 0.59) < 0.005 || std::fabs(x - 0.76) < 0.005) v = 50.0;
+        if (y < 0.44) v = 95.0;  // back cushion highlight
+      }
+      // Side table with lamp.
+      if (x > 0.12 && x < 0.26 && y > 0.52 && y < 0.62) v = 130.0;
+      if (ellipse(x, y, 0.19, 0.44, 0.055, 0.07) < 1.0) v = 210.0;  // lamp shade
+      if (std::fabs(x - 0.19) < 0.004 && y > 0.50 && y < 0.53) v = 40.0;  // stem
+      img.set(xi, yi, to_px(v));
+    }
+  }
+  return img;
+}
+
+std::vector<NamedImage> table2_images(int size) {
+  std::vector<NamedImage> out;
+  out.push_back({"synthetic_cameraman", synthetic_cameraman(size)});
+  out.push_back({"synthetic_lena", synthetic_lena(size)});
+  out.push_back({"synthetic_livingroom", synthetic_livingroom(size)});
+  return out;
+}
+
+}  // namespace realm::jpeg

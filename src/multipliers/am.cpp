@@ -1,0 +1,64 @@
+#include "realm/multipliers/am.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "realm/numeric/bits.hpp"
+
+namespace realm::mult {
+
+AmMultiplier::AmMultiplier(int n, int nb, AmVariant variant)
+    : n_{n}, nb_{nb}, variant_{variant} {
+  if (n < 2 || n > 31) throw std::invalid_argument("AmMultiplier: N in [2, 31]");
+  if (nb < 0 || nb > 2 * n) throw std::invalid_argument("AmMultiplier: nb in [0, 2N]");
+}
+
+std::uint64_t AmMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  assert(num::fits(a, n_) && num::fits(b, n_));
+  if (a == 0 || b == 0) return 0;
+
+  // Partial-product rows at fixed positions — zero rows participate in the
+  // pairing exactly as in the RTL's fixed reduction tree.
+  std::vector<std::uint64_t> layer(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    layer[static_cast<std::size_t>(i)] = ((b >> i) & 1u) ? (a << i) : 0;
+  }
+
+  // Approximate reduction: each adder emits a carry-free sum x^y plus an
+  // error vector (x&y)<<1 — the dropped carries at their true weight.  The
+  // error network differs between the variants:
+  //   AM1 accumulates the masked error vectors with exact adders,
+  //   AM2 merges them with OR gates (cheaper, loses coincident carries).
+  // Recovery is restricted to the nb most-significant product columns.
+  const int lo_cols = 2 * n_ - nb_;
+  const std::uint64_t recov_mask = num::mask(2 * n_) & ~num::mask(lo_cols);
+  std::uint64_t err_acc = 0;
+  while (layer.size() > 1) {
+    std::vector<std::uint64_t> next;
+    next.reserve(layer.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const std::uint64_t x = layer[i], y = layer[i + 1];
+      next.push_back(x ^ y);
+      const std::uint64_t e = ((x & y) << 1) & recov_mask;
+      if (variant_ == AmVariant::kAm1) {
+        err_acc += e;
+      } else {
+        err_acc |= e;
+      }
+    }
+    if (layer.size() % 2 != 0) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+
+  // The masked error vectors are a subset of the dropped carries, so the
+  // recovered sum never exceeds the exact product.
+  return (layer.front() + err_acc) & num::mask(2 * n_);
+}
+
+std::string AmMultiplier::name() const {
+  return std::string{variant_ == AmVariant::kAm1 ? "AM1" : "AM2"} +
+         " (nb=" + std::to_string(nb_) + ")";
+}
+
+}  // namespace realm::mult

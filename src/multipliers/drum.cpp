@@ -1,0 +1,32 @@
+#include "realm/multipliers/drum.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "realm/numeric/bits.hpp"
+
+namespace realm::mult {
+
+DrumMultiplier::DrumMultiplier(int n, int k) : n_{n}, k_{k} {
+  if (n < 2 || n > 31) throw std::invalid_argument("DrumMultiplier: N in [2, 31]");
+  if (k < 3 || k > n) throw std::invalid_argument("DrumMultiplier: k in [3, N]");
+}
+
+std::uint64_t DrumMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  assert(num::fits(a, n_) && num::fits(b, n_));
+  if (a == 0 || b == 0) return 0;
+
+  const auto fragment = [this](std::uint64_t v) -> std::pair<std::uint64_t, int> {
+    const int k = num::leading_one(v);
+    if (k < k_) return {v, 0};  // already fits the small multiplier
+    const int shift = k - k_ + 1;
+    return {(v >> shift) | 1u, shift};  // forced-1 LSB unbiases truncation
+  };
+  const auto [fa, sa] = fragment(a);
+  const auto [fb, sb] = fragment(b);
+  return (fa * fb) << (sa + sb);
+}
+
+std::string DrumMultiplier::name() const { return "DRUM (k=" + std::to_string(k_) + ")"; }
+
+}  // namespace realm::mult

@@ -1,0 +1,42 @@
+#include "realm/multipliers/implm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "realm/numeric/bits.hpp"
+#include "realm/numeric/int128.hpp"
+
+namespace realm::mult {
+
+ImplmMultiplier::ImplmMultiplier(int n) : n_{n} {
+  if (n < 2 || n > 30) throw std::invalid_argument("ImplmMultiplier: N in [2, 30]");
+}
+
+std::uint64_t ImplmMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  assert(num::fits(a, n_) && num::fits(b, n_));
+  if (a == 0 || b == 0) return 0;
+
+  // Signed fractions in Q(w) relative to the *nearest* power of two:
+  // f = A/2^k_hat - 1 ∈ [-1/4, 1/2).
+  const int w = n_ - 1;
+  const auto frac_of = [w](std::uint64_t v) {
+    const int k = num::nearest_one(v);
+    // v·2^w / 2^k - 2^w, exact in 128-bit then narrowed (|f| < 2^w).
+    const auto scaled = static_cast<num::int128>(v) << w;
+    return std::pair{k, static_cast<std::int64_t>((scaled >> k) -
+                                                  (static_cast<num::int128>(1) << w))};
+  };
+  const auto [ka, fa] = frac_of(a);
+  const auto [kb, fb] = frac_of(b);
+
+  // C~ = 2^(ka+kb) · (1 + fa + fb); the signed fraction sum lies in
+  // [-1/2, 1), so the significand (1 + fa + fb) ∈ [1/2, 2) is always
+  // positive and the final shift realizes it exactly.
+  const std::int64_t significand = (std::int64_t{1} << w) + fa + fb;
+  assert(significand > 0);
+  const int k_sum = ka + kb;
+  if (k_sum >= w) return static_cast<std::uint64_t>(significand) << (k_sum - w);
+  return static_cast<std::uint64_t>(significand) >> (w - k_sum);
+}
+
+}  // namespace realm::mult

@@ -1,0 +1,51 @@
+#include "realm/multipliers/mbm.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "realm/core/segment_factors.hpp"
+#include "realm/numeric/bits.hpp"
+
+namespace realm::mult {
+
+MbmMultiplier::MbmMultiplier(int n, int t, int q) : n_{n}, t_{t}, q_{q}, corr_units_{0} {
+  if (n < 2 || n > 31) throw std::invalid_argument("MbmMultiplier: N in [2, 31]");
+  if (t < 0 || t > n - 2) throw std::invalid_argument("MbmMultiplier: t in [0, N-2]");
+  if (q < 3) throw std::invalid_argument("MbmMultiplier: q >= 3");
+  corr_units_ =
+      static_cast<std::uint32_t>(std::lround(core::mbm_correction() * std::ldexp(1.0, q_)));
+}
+
+std::uint64_t MbmMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  assert(num::fits(a, n_) && num::fits(b, n_));
+  if (a == 0 || b == 0) return 0;
+
+  const int w = n_ - 1;
+  const int f = w - t_;
+  const int ka = num::leading_one(a);
+  const int kb = num::leading_one(b);
+  const std::uint64_t xf = (((a ^ (std::uint64_t{1} << ka)) << (w - ka)) >> t_) | 1u;
+  const std::uint64_t yf = (((b ^ (std::uint64_t{1} << kb)) << (w - kb)) >> t_) | 1u;
+
+  const std::uint64_t fsum = xf + yf;
+  const std::uint64_t c_of = fsum >> f;
+  const std::uint64_t frac = fsum & num::mask(f);
+
+  // Single correction constant, halved when the fraction sum carried —
+  // identical application to REALM's s_ij (Eq. 13 with M = 1).
+  const int q1 = q_ + 1;
+  const std::uint64_t s_units =
+      (c_of != 0) ? corr_units_ : (std::uint64_t{corr_units_} << 1);
+  const std::uint64_t s_aligned =
+      (f >= q1) ? (s_units << (f - q1)) : (s_units >> (q1 - f));
+
+  const std::uint64_t significand = (std::uint64_t{1} << f) + frac + s_aligned;
+  const int k_sum = ka + kb + static_cast<int>(c_of);
+  if (k_sum >= f) return significand << (k_sum - f);
+  return significand >> (f - k_sum);
+}
+
+std::string MbmMultiplier::name() const { return "MBM (t=" + std::to_string(t_) + ")"; }
+
+}  // namespace realm::mult

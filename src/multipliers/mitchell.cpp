@@ -1,0 +1,42 @@
+#include "realm/multipliers/mitchell.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "realm/numeric/bits.hpp"
+
+namespace realm::mult {
+
+MitchellMultiplier::MitchellMultiplier(int n, int t) : n_{n}, t_{t} {
+  if (n < 2 || n > 31) throw std::invalid_argument("MitchellMultiplier: N in [2, 31]");
+  if (t < 0 || t > n - 1) throw std::invalid_argument("MitchellMultiplier: t in [0, N-1]");
+}
+
+std::uint64_t MitchellMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  assert(num::fits(a, n_) && num::fits(b, n_));
+  if (a == 0 || b == 0) return 0;
+
+  const int w = n_ - 1;
+  const int f = w - t_;
+  const int ka = num::leading_one(a);
+  const int kb = num::leading_one(b);
+  const std::uint64_t xf = ((a ^ (std::uint64_t{1} << ka)) << (w - ka)) >> t_;
+  const std::uint64_t yf = ((b ^ (std::uint64_t{1} << kb)) << (w - kb)) >> t_;
+
+  // Eq. 3: both branches collapse to (1.frac) · 2^(ka+kb+carry) because
+  // x + y >= 1 means x + y = 1 + frac.
+  const std::uint64_t fsum = xf + yf;
+  const std::uint64_t c_of = f > 0 ? (fsum >> f) : fsum;
+  const std::uint64_t frac = f > 0 ? (fsum & num::mask(f)) : 0;
+  const int k_sum = ka + kb + static_cast<int>(c_of);
+
+  const std::uint64_t significand = (std::uint64_t{1} << f) | frac;
+  if (k_sum >= f) return significand << (k_sum - f);
+  return significand >> (f - k_sum);
+}
+
+std::string MitchellMultiplier::name() const {
+  return t_ == 0 ? "cALM" : "cALM (t=" + std::to_string(t_) + ")";
+}
+
+}  // namespace realm::mult

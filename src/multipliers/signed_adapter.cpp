@@ -1,0 +1,32 @@
+#include "realm/multipliers/signed_adapter.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "realm/multipliers/registry.hpp"
+#include "realm/numeric/bits.hpp"
+
+namespace realm::mult {
+
+SignedMultiplier::SignedMultiplier(std::unique_ptr<Multiplier> core)
+    : core_{std::move(core)} {
+  if (!core_) throw std::invalid_argument("SignedMultiplier: null core");
+}
+
+std::int64_t SignedMultiplier::multiply(std::int64_t a, std::int64_t b) const {
+  const int n = core_->width();
+  assert(a >= -(std::int64_t{1} << (n - 1)) && a < (std::int64_t{1} << (n - 1)));
+  assert(b >= -(std::int64_t{1} << (n - 1)) && b < (std::int64_t{1} << (n - 1)));
+  (void)n;
+  const bool negative = (a < 0) != (b < 0);
+  const auto ua = static_cast<std::uint64_t>(a < 0 ? -a : a);
+  const auto ub = static_cast<std::uint64_t>(b < 0 ? -b : b);
+  const auto p = static_cast<std::int64_t>(core_->multiply(ua, ub));
+  return negative ? -p : p;
+}
+
+SignedMultiplier make_signed_multiplier(const std::string& spec, int n) {
+  return SignedMultiplier{make_multiplier(spec, n)};
+}
+
+}  // namespace realm::mult

@@ -1,0 +1,55 @@
+#include "realm/multipliers/ssm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "realm/numeric/bits.hpp"
+
+namespace realm::mult {
+
+SsmMultiplier::SsmMultiplier(int n, int m) : n_{n}, m_{m} {
+  if (n < 2 || n > 31) throw std::invalid_argument("SsmMultiplier: N in [2, 31]");
+  if (m < 1 || m > n) throw std::invalid_argument("SsmMultiplier: m in [1, N]");
+}
+
+std::uint64_t SsmMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  assert(num::fits(a, n_) && num::fits(b, n_));
+  const int off = n_ - m_;
+  const auto segment = [&](std::uint64_t v) -> std::pair<std::uint64_t, int> {
+    if (v >> m_ != 0) return {v >> off, off};  // any upper bit set -> top segment
+    return {v, 0};
+  };
+  const auto [sa, oa] = segment(a);
+  const auto [sb, ob] = segment(b);
+  return (sa * sb) << (oa + ob);
+}
+
+std::string SsmMultiplier::name() const { return "SSM (m=" + std::to_string(m_) + ")"; }
+
+EssmMultiplier::EssmMultiplier(int n, int m) : n_{n}, m_{m} {
+  if (n < 2 || n > 31) throw std::invalid_argument("EssmMultiplier: N in [2, 31]");
+  if (m < 1 || m > n) throw std::invalid_argument("EssmMultiplier: m in [1, N]");
+  if ((n - m) % 2 != 0) {
+    throw std::invalid_argument("EssmMultiplier: N-m must be even");
+  }
+}
+
+std::uint64_t EssmMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  assert(num::fits(a, n_) && num::fits(b, n_));
+  const int off_hi = n_ - m_;
+  const int off_mid = off_hi / 2;
+  const auto segment = [&](std::uint64_t v) -> std::pair<std::uint64_t, int> {
+    if (v >> (m_ + off_mid) != 0) return {v >> off_hi, off_hi};
+    if (v >> m_ != 0) return {v >> off_mid, off_mid};
+    return {v, 0};
+  };
+  const auto [sa, oa] = segment(a);
+  const auto [sb, ob] = segment(b);
+  return (sa * sb) << (oa + ob);
+}
+
+std::string EssmMultiplier::name() const {
+  return "ESSM" + std::to_string(m_) + " (m=" + std::to_string(m_) + ")";
+}
+
+}  // namespace realm::mult

@@ -1,0 +1,78 @@
+#include "realm/multipliers/udm.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "realm/numeric/bits.hpp"
+
+namespace realm::mult {
+namespace {
+
+// The 2×2 block: exact except 3×3 -> 7.
+std::uint64_t udm2(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t a0 = a & 1u, a1 = (a >> 1) & 1u;
+  const std::uint64_t b0 = b & 1u, b1 = (b >> 1) & 1u;
+  return (a0 & b0) | (((a1 & b0) | (a0 & b1)) << 1) | ((a1 & b1) << 2);
+}
+
+std::uint64_t udm_rec(std::uint64_t a, std::uint64_t b, int n) {
+  if (n == 2) return udm2(a, b);
+  const int h = n / 2;
+  const std::uint64_t mask = realm::num::mask(h);
+  const std::uint64_t ah = a >> h, al = a & mask;
+  const std::uint64_t bh = b >> h, bl = b & mask;
+  return (udm_rec(ah, bh, h) << n) +
+         ((udm_rec(ah, bl, h) + udm_rec(al, bh, h)) << h) + udm_rec(al, bl, h);
+}
+
+}  // namespace
+
+UdmMultiplier::UdmMultiplier(int n) : n_{n} {
+  if (n < 2 || n > 31 || !std::has_single_bit(static_cast<unsigned>(n))) {
+    throw std::invalid_argument("UdmMultiplier: N must be a power of two in [2, 16]");
+  }
+}
+
+std::uint64_t UdmMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  assert(num::fits(a, n_) && num::fits(b, n_));
+  return udm_rec(a, b, n_);
+}
+
+TruncatedMultiplier::TruncatedMultiplier(int n, int drop)
+    : n_{n}, drop_{drop}, correction_{0} {
+  if (n < 2 || n > 31) throw std::invalid_argument("TruncatedMultiplier: N in [2, 31]");
+  if (drop < 0 || drop >= 2 * n) {
+    throw std::invalid_argument("TruncatedMultiplier: drop in [0, 2N)");
+  }
+  // Expected dropped mass for uniform inputs: each partial product bit is 1
+  // with probability 1/4, so E = (1/4)·Σ_{i+j < drop} 2^(i+j); rounded to
+  // units of 2^drop.
+  double expected = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i + j < drop) expected += 0.25 * std::ldexp(1.0, i + j);
+    }
+  }
+  correction_ =
+      static_cast<std::uint64_t>(std::llround(expected / std::ldexp(1.0, drop)));
+}
+
+std::uint64_t TruncatedMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  assert(num::fits(a, n_) && num::fits(b, n_));
+  std::uint64_t acc = correction_ << drop_;
+  for (int i = 0; i < n_; ++i) {
+    if (((b >> i) & 1u) == 0) continue;
+    for (int j = 0; j < n_; ++j) {
+      if (((a >> j) & 1u) != 0 && i + j >= drop_) acc += std::uint64_t{1} << (i + j);
+    }
+  }
+  return acc;
+}
+
+std::string TruncatedMultiplier::name() const {
+  return "TRUNC (drop=" + std::to_string(drop_) + ")";
+}
+
+}  // namespace realm::mult

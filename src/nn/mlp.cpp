@@ -1,0 +1,192 @@
+#include "realm/nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "realm/numeric/rng.hpp"
+
+namespace realm::nn {
+
+Dataset make_two_moons(int samples, double noise, std::uint64_t seed) {
+  if (samples < 2) throw std::invalid_argument("make_two_moons: samples >= 2");
+  num::Xoshiro256 rng{seed};
+  const double pi = std::acos(-1.0);
+  Dataset d;
+  d.x.reserve(static_cast<std::size_t>(samples));
+  d.y.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const int label = i % 2;
+    const double t = pi * rng.uniform();
+    double px, py;
+    if (label == 0) {
+      px = std::cos(t);
+      py = std::sin(t);
+    } else {
+      px = 1.0 - std::cos(t);
+      py = 0.5 - std::sin(t);
+    }
+    px += noise * (rng.uniform() - 0.5);
+    py += noise * (rng.uniform() - 0.5);
+    d.x.push_back({px, py});
+    d.y.push_back(label);
+  }
+  return d;
+}
+
+Mlp::Mlp(std::vector<int> layers, std::uint64_t seed) : layers_{std::move(layers)} {
+  if (layers_.size() < 2 || layers_.front() != 2 || layers_.back() != 2) {
+    throw std::invalid_argument("Mlp: layers must run from 2 inputs to 2 outputs");
+  }
+  num::Xoshiro256 rng{seed};
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    const int in = layers_[l];
+    const int out = layers_[l + 1];
+    // He-style initialization for the ReLU stack.
+    const double scale = std::sqrt(2.0 / in);
+    std::vector<double> w(static_cast<std::size_t>(in) * static_cast<std::size_t>(out));
+    for (auto& v : w) v = scale * (2.0 * rng.uniform() - 1.0);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(static_cast<std::size_t>(out), 0.0);
+  }
+}
+
+std::vector<double> Mlp::forward(const std::array<double, 2>& x,
+                                 std::vector<std::vector<double>>* activations) const {
+  std::vector<double> cur{x[0], x[1]};
+  if (activations != nullptr) activations->push_back(cur);
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    const int in = layers_[l];
+    const int out = layers_[l + 1];
+    std::vector<double> next(static_cast<std::size_t>(out));
+    for (int o = 0; o < out; ++o) {
+      double acc = biases_[l][static_cast<std::size_t>(o)];
+      for (int i = 0; i < in; ++i) {
+        acc += weights_[l][static_cast<std::size_t>(o * in + i)] *
+               cur[static_cast<std::size_t>(i)];
+      }
+      const bool last = l + 1 == weights_.size();
+      next[static_cast<std::size_t>(o)] = last ? acc : std::max(0.0, acc);
+    }
+    cur = std::move(next);
+    if (activations != nullptr) activations->push_back(cur);
+  }
+  return cur;
+}
+
+void Mlp::train(const Dataset& data, int epochs, double learning_rate) {
+  num::Xoshiro256 rng{0x7ea1};
+  std::vector<std::size_t> order(data.x.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    // Fisher-Yates shuffle for per-epoch SGD order.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    for (const std::size_t idx : order) {
+      std::vector<std::vector<double>> acts;
+      const std::vector<double> logits = forward(data.x[idx], &acts);
+
+      // Softmax cross-entropy gradient on the logits.
+      const double mx = std::max(logits[0], logits[1]);
+      const double e0 = std::exp(logits[0] - mx);
+      const double e1 = std::exp(logits[1] - mx);
+      const double z = e0 + e1;
+      std::vector<double> delta{e0 / z, e1 / z};
+      delta[static_cast<std::size_t>(data.y[idx])] -= 1.0;
+
+      // Backprop through the ReLU stack.
+      for (std::size_t l = weights_.size(); l-- > 0;) {
+        const int in = layers_[l];
+        const int out = layers_[l + 1];
+        const auto& a_in = acts[l];
+        std::vector<double> delta_in(static_cast<std::size_t>(in), 0.0);
+        for (int o = 0; o < out; ++o) {
+          const double d = delta[static_cast<std::size_t>(o)];
+          biases_[l][static_cast<std::size_t>(o)] -= learning_rate * d;
+          for (int i = 0; i < in; ++i) {
+            auto& w = weights_[l][static_cast<std::size_t>(o * in + i)];
+            delta_in[static_cast<std::size_t>(i)] += w * d;
+            w -= learning_rate * d * a_in[static_cast<std::size_t>(i)];
+          }
+        }
+        if (l > 0) {
+          for (int i = 0; i < in; ++i) {
+            if (acts[l][static_cast<std::size_t>(i)] <= 0.0) {
+              delta_in[static_cast<std::size_t>(i)] = 0.0;  // ReLU gate
+            }
+          }
+        }
+        delta = std::move(delta_in);
+      }
+    }
+  }
+}
+
+int Mlp::predict(const std::array<double, 2>& x) const {
+  const auto logits = forward(x, nullptr);
+  return logits[1] > logits[0] ? 1 : 0;
+}
+
+double Mlp::accuracy(const Dataset& data) const {
+  int correct = 0;
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    if (predict(data.x[i]) == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.x.size());
+}
+
+Mlp::Quantized Mlp::quantize(int frac_bits) const {
+  Quantized q;
+  q.layers = layers_;
+  q.frac_bits = frac_bits;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    std::vector<std::int32_t> w(weights_[l].size());
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] = num::to_fx(weights_[l][i], frac_bits);
+    q.weights.push_back(std::move(w));
+    std::vector<std::int32_t> b(biases_[l].size());
+    // Biases add to Q(2·frac) products before rescaling.
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = num::to_fx(biases_[l][i], 2 * frac_bits);
+    }
+    q.biases.push_back(std::move(b));
+  }
+  return q;
+}
+
+int predict_fixed(const Mlp::Quantized& net, const std::array<double, 2>& x,
+                  const num::UMulFn& umul) {
+  const int fb = net.frac_bits;
+  std::vector<std::int32_t> cur{num::to_fx(x[0], fb), num::to_fx(x[1], fb)};
+  for (std::size_t l = 0; l < net.weights.size(); ++l) {
+    const int in = net.layers[l];
+    const int out = net.layers[l + 1];
+    std::vector<std::int32_t> next(static_cast<std::size_t>(out));
+    for (int o = 0; o < out; ++o) {
+      std::int64_t acc = net.biases[l][static_cast<std::size_t>(o)];  // Q(2fb)
+      for (int i = 0; i < in; ++i) {
+        acc += num::signed_mul(net.weights[l][static_cast<std::size_t>(o * in + i)],
+                               cur[static_cast<std::size_t>(i)], umul);
+      }
+      std::int32_t v = num::sat_signed(acc >> fb, 16);  // back to Q(fb)
+      const bool last = l + 1 == net.weights.size();
+      if (!last && v < 0) v = 0;  // ReLU
+      next[static_cast<std::size_t>(o)] = v;
+    }
+    cur = std::move(next);
+  }
+  return cur[1] > cur[0] ? 1 : 0;
+}
+
+double accuracy_fixed(const Mlp::Quantized& net, const Dataset& data,
+                      const num::UMulFn& umul) {
+  int correct = 0;
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    if (predict_fixed(net, data.x[i], umul) == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.x.size());
+}
+
+}  // namespace realm::nn

@@ -1,0 +1,50 @@
+#include "realm/numeric/dilog.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace realm::num {
+namespace {
+
+// Power series Σ x^k/k², valid (and fast) for |x| <= 0.5: 52 terms give
+// 0.5^52 ≈ 2e-16 truncation, i.e. full double precision.
+double dilog_series(double x) noexcept {
+  double term = x;    // x^k
+  double sum = x;     // k = 1
+  for (int k = 2; k <= 60; ++k) {
+    term *= x;
+    const double add = term / (static_cast<double>(k) * static_cast<double>(k));
+    sum += add;
+    if (std::fabs(add) < 1e-18 * std::fabs(sum)) break;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double dilog(double x) noexcept {
+  assert(x <= 1.0 + 1e-12 && "real dilogarithm requires x <= 1");
+  if (x > 1.0) x = 1.0;
+
+  if (x == 1.0) return kPiSquaredOver6;
+  if (x == 0.0) return 0.0;
+
+  // Landen-type argument reductions push |x| into [-0.5, 0.5] where the
+  // series converges at full precision.
+  if (x < -1.0) {
+    // Li2(x) = -Li2(1/x) - π²/6 - ln²(-x)/2
+    const double l = std::log(-x);
+    return -dilog(1.0 / x) - kPiSquaredOver6 - 0.5 * l * l;
+  }
+  if (x < -0.5) {
+    // Li2(x) = -Li2(x/(x-1)) - ln²(1-x)/2
+    const double l = std::log1p(-x);
+    return -dilog_series(x / (x - 1.0)) - 0.5 * l * l;
+  }
+  if (x <= 0.5) return dilog_series(x);
+
+  // 0.5 < x < 1:  Li2(x) = π²/6 - ln(x)·ln(1-x) - Li2(1-x)
+  return kPiSquaredOver6 - std::log(x) * std::log1p(-x) - dilog_series(1.0 - x);
+}
+
+}  // namespace realm::num

@@ -1,0 +1,43 @@
+#include "realm/numeric/fixed_point.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace realm::num {
+
+std::int64_t signed_mul(std::int64_t a, std::int64_t b, const UMulFn& umul) {
+  const bool neg = (a < 0) != (b < 0);
+  const auto ua = static_cast<std::uint64_t>(a < 0 ? -a : a);
+  const auto ub = static_cast<std::uint64_t>(b < 0 ? -b : b);
+  const auto p = static_cast<std::int64_t>(umul(ua, ub));
+  return neg ? -p : p;
+}
+
+std::int32_t fx_mul(std::int32_t a, std::int32_t b, int frac_bits, const UMulFn& umul) {
+  assert(frac_bits >= 0 && frac_bits < 32);
+  const std::int64_t p = signed_mul(a, b, umul);
+  // Arithmetic shift of the magnitude: truncation toward zero matches a
+  // hardware right-shift of the unsigned product before sign re-application.
+  const std::int64_t q = (p < 0) ? -((-p) >> frac_bits) : (p >> frac_bits);
+  return static_cast<std::int32_t>(q);
+}
+
+std::int32_t to_fx(double v, int frac_bits) {
+  return static_cast<std::int32_t>(std::lround(v * std::ldexp(1.0, frac_bits)));
+}
+
+double from_fx(std::int32_t v, int frac_bits) {
+  return static_cast<double>(v) * std::ldexp(1.0, -frac_bits);
+}
+
+std::int32_t sat_signed(std::int64_t v, int n) {
+  assert(n >= 2 && n <= 32);
+  const std::int64_t hi = (std::int64_t{1} << (n - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (n - 1));
+  if (v > hi) return static_cast<std::int32_t>(hi);
+  if (v < lo) return static_cast<std::int32_t>(lo);
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace realm::num

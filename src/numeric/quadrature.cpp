@@ -1,0 +1,56 @@
+#include "realm/numeric/quadrature.hpp"
+
+#include <cmath>
+
+namespace realm::num {
+namespace {
+
+struct SimpsonState {
+  const Fn1* f;
+};
+
+// One adaptive Simpson step: interval [a,b] with cached endpoint/midpoint
+// values and the whole-interval Simpson estimate.
+double adaptive(const Fn1& f, double a, double b, double fa, double fm, double fb,
+                double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double h = b - a;
+  const double left = (h / 12.0) * (fa + 4.0 * flm + fm);
+  const double right = (h / 12.0) * (fm + 4.0 * frm + fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;  // Richardson extrapolation
+  }
+  return adaptive(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         adaptive(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const Fn1& f, double a, double b, double tol) {
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fm = f(m);
+  const double fb = f(b);
+  const double whole = ((b - a) / 6.0) * (fa + 4.0 * fm + fb);
+  return adaptive(f, a, b, fa, fm, fb, whole, tol, 50);
+}
+
+double integrate2d(const Fn2& f, double ax, double bx, double ay, double by,
+                   double tol) {
+  // Nested adaptive Simpson: the outer pass integrates the inner integral.
+  // Inner tolerance is tightened relative to the outer so inner noise does
+  // not masquerade as outer structure.
+  const double inner_tol = tol * 1e-2;
+  const Fn1 outer = [&](double x) {
+    return integrate([&](double y) { return f(x, y); }, ay, by, inner_tol);
+  };
+  return integrate(outer, ax, bx, tol);
+}
+
+}  // namespace realm::num

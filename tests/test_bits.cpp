@@ -1,0 +1,90 @@
+#include "realm/numeric/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "realm/numeric/rng.hpp"
+
+namespace num = realm::num;
+
+TEST(Bits, LeadingOneKnownValues) {
+  EXPECT_EQ(num::leading_one(1), 0);
+  EXPECT_EQ(num::leading_one(2), 1);
+  EXPECT_EQ(num::leading_one(3), 1);
+  EXPECT_EQ(num::leading_one(255), 7);
+  EXPECT_EQ(num::leading_one(256), 8);
+  EXPECT_EQ(num::leading_one(~std::uint64_t{0}), 63);
+}
+
+TEST(Bits, LeadingOnePropertyPowerOfTwoBounds) {
+  num::Xoshiro256 rng{1};
+  for (int it = 0; it < 10000; ++it) {
+    const std::uint64_t v = rng() | 1u;  // nonzero
+    const int k = num::leading_one(v);
+    EXPECT_GE(v, std::uint64_t{1} << k);
+    if (k < 63) {
+      EXPECT_LT(v, std::uint64_t{1} << (k + 1));
+    }
+  }
+}
+
+TEST(Bits, NearestOneRoundsAtHalf) {
+  // 2^k(1+x): round up exactly when x >= 0.5.
+  EXPECT_EQ(num::nearest_one(4), 2);   // x = 0
+  EXPECT_EQ(num::nearest_one(5), 2);   // x = 0.25
+  EXPECT_EQ(num::nearest_one(6), 3);   // x = 0.5 -> up
+  EXPECT_EQ(num::nearest_one(7), 3);   // x = 0.75 -> up
+  EXPECT_EQ(num::nearest_one(1), 0);
+  EXPECT_EQ(num::nearest_one(3), 2);   // x = 0.5 at k=1
+}
+
+TEST(Bits, NearestOneMinimizesLogDistance) {
+  // nearest_one picks k minimizing |log2(v) - k| (ties toward +); verify via
+  // the fraction threshold rather than floating point.
+  for (std::uint64_t v = 2; v < 4096; ++v) {
+    const int k = num::leading_one(v);
+    const bool half_or_more = ((v >> (k - 1)) & 1u) != 0;
+    EXPECT_EQ(num::nearest_one(v), half_or_more ? k + 1 : k) << "v=" << v;
+  }
+}
+
+TEST(Bits, MaskValues) {
+  EXPECT_EQ(num::mask(0), 0u);
+  EXPECT_EQ(num::mask(1), 1u);
+  EXPECT_EQ(num::mask(16), 0xFFFFu);
+  EXPECT_EQ(num::mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, BitsExtraction) {
+  EXPECT_EQ(num::bits(0xABCD, 15, 12), 0xAu);
+  EXPECT_EQ(num::bits(0xABCD, 11, 8), 0xBu);
+  EXPECT_EQ(num::bits(0xABCD, 3, 0), 0xDu);
+  EXPECT_EQ(num::bits(0xFF, 7, 7), 1u);
+}
+
+TEST(Bits, SaturateAndFits) {
+  EXPECT_EQ(num::saturate(300, 8), 255u);
+  EXPECT_EQ(num::saturate(255, 8), 255u);
+  EXPECT_EQ(num::saturate(254, 8), 254u);
+  EXPECT_TRUE(num::fits(65535, 16));
+  EXPECT_FALSE(num::fits(65536, 16));
+  EXPECT_TRUE(num::fits(~std::uint64_t{0}, 64));
+}
+
+TEST(Bits, Clog2) {
+  EXPECT_EQ(num::clog2(1), 0);
+  EXPECT_EQ(num::clog2(2), 1);
+  EXPECT_EQ(num::clog2(3), 2);
+  EXPECT_EQ(num::clog2(4), 2);
+  EXPECT_EQ(num::clog2(5), 3);
+  EXPECT_EQ(num::clog2(16), 4);
+  EXPECT_EQ(num::clog2(17), 5);
+}
+
+class BitsWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsWidthTest, MaskMatchesShiftFormula) {
+  const int n = GetParam();
+  EXPECT_EQ(num::mask(n), (n == 64) ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitsWidthTest, ::testing::Range(0, 65));

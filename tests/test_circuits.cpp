@@ -1,0 +1,128 @@
+// The central hardware integration test: every gate-level circuit must agree
+// bit-for-bit with its behavioral model on random and structured vectors.
+
+#include "realm/hw/circuits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "realm/hw/simulator.hpp"
+#include "realm/multipliers/registry.hpp"
+#include "realm/numeric/rng.hpp"
+
+using namespace realm;
+
+namespace {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> structured_vectors(int n) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> v;
+  const std::uint64_t maxv = (std::uint64_t{1} << n) - 1;
+  // Corners, powers of two, power-of-two neighbours, equal operands.
+  for (const std::uint64_t a : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+                                std::uint64_t{3}, maxv, maxv - 1, maxv / 2}) {
+    for (const std::uint64_t b : {std::uint64_t{0}, std::uint64_t{1}, maxv, maxv / 3}) {
+      v.emplace_back(a, b);
+    }
+  }
+  for (int k = 0; k < n; ++k) {
+    const std::uint64_t p = std::uint64_t{1} << k;
+    v.emplace_back(p, p);
+    v.emplace_back(p, p - 1);
+    v.emplace_back(p + (p >> 1), p + (p >> 1));  // x = 0.5 patterns
+  }
+  return v;
+}
+
+class CircuitEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CircuitEquivalenceTest, NetlistMatchesBehavioralModel) {
+  const std::string spec = GetParam();
+  const int n = 16;
+  const auto model = mult::make_multiplier(spec, n);
+  const hw::Module mod = hw::build_circuit(spec, n);
+  hw::Simulator sim{mod};
+
+  for (const auto& [a, b] : structured_vectors(n)) {
+    ASSERT_EQ(sim.run({a, b}), model->multiply(a, b))
+        << spec << " a=" << a << " b=" << b;
+  }
+  num::Xoshiro256 rng{0xC1C1u};
+  for (int it = 0; it < 2500; ++it) {
+    const std::uint64_t a = rng.below(65536), b = rng.below(65536);
+    ASSERT_EQ(sim.run({a, b}), model->multiply(a, b))
+        << spec << " a=" << a << " b=" << b;
+  }
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, CircuitEquivalenceTest,
+    ::testing::Values("accurate", "calm", "mbm:t=0", "mbm:t=4", "mbm:t=9",
+                      "alm-soa:m=3", "alm-soa:m=11", "alm-maa:m=6", "alm-maa:m=12",
+                      "realm:m=16,t=0", "realm:m=16,t=8", "realm:m=8,t=4",
+                      "realm:m=4,t=9", "implm", "drum:k=8", "drum:k=4", "ssm:m=10",
+                      "ssm:m=8", "essm:m=8", "am1:nb=13", "am1:nb=5", "am2:nb=9",
+                      "intalp:l=1", "intalp:l=2", "udm", "trunc:drop=12",
+                      "calm:adder=1", "calm:adder=2"));
+
+TEST(Circuits, EquivalenceAtOtherWidths) {
+  num::Xoshiro256 rng{0xD00Du};
+  for (const int n : {8, 12}) {
+    for (const char* spec : {"calm", "realm:m=4,t=0", "drum:k=4", "accurate"}) {
+      const auto model = mult::make_multiplier(spec, n);
+      const hw::Module mod = hw::build_circuit(spec, n);
+      hw::Simulator sim{mod};
+      const std::uint64_t range = std::uint64_t{1} << n;
+      for (int it = 0; it < 1500; ++it) {
+        const std::uint64_t a = rng.below(range), b = rng.below(range);
+        ASSERT_EQ(sim.run({a, b}), model->multiply(a, b))
+            << spec << " n=" << n << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Circuits, PruningPreservesFunction) {
+  num::Xoshiro256 rng{0xBEEFu};
+  hw::Module full = hw::build_circuit_unpruned("realm:m=8,t=2", 16);
+  hw::Module pruned = hw::build_circuit("realm:m=8,t=2", 16);
+  EXPECT_LE(pruned.gates().size(), full.gates().size());
+  hw::Simulator s1{full}, s2{pruned};
+  for (int it = 0; it < 2000; ++it) {
+    const std::uint64_t a = rng.below(65536), b = rng.below(65536);
+    ASSERT_EQ(s1.run({a, b}), s2.run({a, b}));
+  }
+}
+
+TEST(Circuits, RealmLutGrowsWithM) {
+  const double a4 = hw::build_circuit("realm:m=4,t=0", 16).area_um2();
+  const double a8 = hw::build_circuit("realm:m=8,t=0", 16).area_um2();
+  const double a16 = hw::build_circuit("realm:m=16,t=0", 16).area_um2();
+  EXPECT_LT(a4, a8);
+  EXPECT_LT(a8, a16);
+}
+
+TEST(Circuits, TruncationShrinksTheDatapath) {
+  double prev = 1e18;
+  for (const int t : {0, 3, 6, 9}) {
+    const double a =
+        hw::build_circuit("realm:m=8,t=" + std::to_string(t), 16).area_um2();
+    EXPECT_LT(a, prev) << "t=" << t;
+    prev = a;
+  }
+}
+
+TEST(Circuits, PortShapesAreUniform) {
+  for (const char* spec : {"accurate", "calm", "realm:m=16,t=0", "drum:k=6"}) {
+    const hw::Module mod = hw::build_circuit(spec, 16);
+    ASSERT_EQ(mod.inputs().size(), 2u) << spec;
+    EXPECT_EQ(mod.inputs()[0].bus.size(), 16u);
+    EXPECT_EQ(mod.inputs()[1].bus.size(), 16u);
+    ASSERT_EQ(mod.outputs().size(), 1u);
+    EXPECT_GE(mod.outputs()[0].bus.size(), 32u);
+  }
+}
+
+TEST(Circuits, DispatchRejectsUnknownSpec) {
+  EXPECT_THROW((void)hw::build_circuit("nonsense", 16), std::invalid_argument);
+}

@@ -1,0 +1,194 @@
+#include "realm/hw/components.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "realm/hw/simulator.hpp"
+#include "realm/numeric/bits.hpp"
+#include "realm/numeric/rng.hpp"
+
+using namespace realm::hw;
+namespace num = realm::num;
+
+namespace {
+
+// Builds a module around a component and returns output for given inputs.
+struct Harness {
+  Module m{"harness"};
+  Bus a, b;
+  Harness(int wa, int wb) {
+    a = m.add_input("a", wa);
+    if (wb > 0) b = m.add_input("b", wb);
+  }
+  std::uint64_t run1(std::uint64_t va) {
+    Simulator sim{m};
+    return sim.run({va});
+  }
+  std::uint64_t run2(std::uint64_t va, std::uint64_t vb) {
+    Simulator sim{m};
+    return sim.run({va, vb});
+  }
+};
+
+}  // namespace
+
+class AdderWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidthTest, RippleAddExhaustiveOrRandom) {
+  const int w = GetParam();
+  Harness h{w, w};
+  const auto r = ripple_add(h.m, h.a, h.b);
+  Bus out = r.sum;
+  out.push_back(r.carry);
+  h.m.add_output("o", out);
+  Simulator sim{h.m};
+  if (w <= 5) {
+    for (std::uint64_t x = 0; x < (1u << w); ++x) {
+      for (std::uint64_t y = 0; y < (1u << w); ++y) {
+        ASSERT_EQ(sim.run({x, y}), x + y) << w;
+      }
+    }
+  } else {
+    num::Xoshiro256 rng{static_cast<std::uint64_t>(w)};
+    for (int it = 0; it < 3000; ++it) {
+      const std::uint64_t x = rng.below(1ull << w), y = rng.below(1ull << w);
+      ASSERT_EQ(sim.run({x, y}), x + y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidthTest, ::testing::Values(1, 2, 3, 4, 8, 15, 16, 24));
+
+TEST(Components, RippleAddWithCarryInAndMixedWidths) {
+  Harness h{6, 3};
+  const auto r = ripple_add(h.m, h.a, h.b, kConst1);
+  Bus out = r.sum;
+  out.push_back(r.carry);
+  h.m.add_output("o", out);
+  Simulator sim{h.m};
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    for (std::uint64_t y = 0; y < 8; ++y) ASSERT_EQ(sim.run({x, y}), x + y + 1);
+  }
+}
+
+TEST(Components, RippleSubDiffAndBorrow) {
+  Harness h{6, 6};
+  const auto r = ripple_sub(h.m, h.a, h.b);
+  Bus out = r.diff;
+  out.push_back(r.borrow);
+  h.m.add_output("o", out);
+  Simulator sim{h.m};
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    for (std::uint64_t y = 0; y < 64; ++y) {
+      const std::uint64_t got = sim.run({x, y});
+      const std::uint64_t diff = got & 63u;
+      const std::uint64_t borrow = got >> 6;
+      ASSERT_EQ(borrow, x < y ? 1u : 0u);
+      ASSERT_EQ(diff, (x - y) & 63u);
+    }
+  }
+}
+
+class WallaceWidthTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WallaceWidthTest, MatchesExactProduct) {
+  const auto [wa, wb] = GetParam();
+  Harness h{wa, wb};
+  h.m.add_output("p", wallace_multiply(h.m, h.a, h.b));
+  Simulator sim{h.m};
+  if (wa + wb <= 12) {
+    for (std::uint64_t x = 0; x < (1u << wa); ++x) {
+      for (std::uint64_t y = 0; y < (1u << wb); ++y) ASSERT_EQ(sim.run({x, y}), x * y);
+    }
+  } else {
+    num::Xoshiro256 rng{99};
+    for (int it = 0; it < 2000; ++it) {
+      const std::uint64_t x = rng.below(1ull << wa), y = rng.below(1ull << wb);
+      ASSERT_EQ(sim.run({x, y}), x * y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WallaceWidthTest,
+                         ::testing::Values(std::tuple{2, 2}, std::tuple{3, 5},
+                                           std::tuple{4, 4}, std::tuple{6, 6},
+                                           std::tuple{8, 8}, std::tuple{16, 16},
+                                           std::tuple{5, 11}));
+
+TEST(Components, LeadingOneDetectorExhaustive8) {
+  Harness h{8, 0};
+  const auto lod = leading_one_detector(h.m, h.a);
+  Bus out = lod.position;
+  out.push_back(lod.none);
+  h.m.add_output("o", out);
+  Simulator sim{h.m};
+  EXPECT_EQ(sim.run({0}) >> 3, 1u);  // none flag
+  for (std::uint64_t v = 1; v < 256; ++v) {
+    const std::uint64_t got = sim.run({v});
+    ASSERT_EQ(got >> 3, 0u) << v;
+    ASSERT_EQ(static_cast<int>(got & 7u), num::leading_one(v)) << v;
+  }
+}
+
+TEST(Components, BarrelShiftersMatchCpuShifts) {
+  Harness h{8, 4};
+  h.m.add_output("l", barrel_shift_left(h.m, h.a, h.b, 16));
+  h.m.add_output("r", barrel_shift_right(h.m, h.a, h.b, 8));
+  Simulator sim{h.m};
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    for (std::uint64_t s = 0; s < 16; ++s) {
+      for (std::size_t i = 0; i < 2; ++i) sim.set_input(i, i == 0 ? v : s);
+      sim.eval();
+      ASSERT_EQ(sim.output(0), (v << s) & 0xFFFFu) << v << "<<" << s;
+      ASSERT_EQ(sim.output(1), v >> s) << v << ">>" << s;
+    }
+  }
+}
+
+TEST(Components, ConstantLutMatchesTable) {
+  Harness h{4, 0};
+  const std::vector<std::uint64_t> values{3, 14, 15, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 1};
+  h.m.add_output("o", constant_lut(h.m, h.a, values, 4));
+  Simulator sim{h.m};
+  for (std::uint64_t s = 0; s < 16; ++s) ASSERT_EQ(sim.run({s}), values[s]);
+}
+
+TEST(Components, ConstantLutFoldsUniformTables) {
+  Harness h{4, 0};
+  const std::vector<std::uint64_t> uniform(16, 5);
+  const Bus o = constant_lut(h.m, h.a, uniform, 3);
+  EXPECT_EQ(h.m.gates().size(), 0u);  // every mux folds to a constant
+  EXPECT_EQ(o[0], kConst1);
+  EXPECT_EQ(o[1], kConst0);
+  EXPECT_EQ(o[2], kConst1);
+}
+
+TEST(Components, ConstantLutRejectsSizeMismatch) {
+  Harness h{3, 0};
+  EXPECT_THROW((void)constant_lut(h.m, h.a, std::vector<std::uint64_t>(7, 0), 2),
+               std::invalid_argument);
+}
+
+TEST(Components, BusUtilities) {
+  Harness h{6, 0};
+  EXPECT_EQ(resize(h.a, 3).size(), 3u);
+  EXPECT_EQ(resize(h.a, 9).size(), 9u);
+  EXPECT_EQ(resize(h.a, 9)[8], kConst0);
+  const Bus s = slice(h.a, 4, 2);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], h.a[2]);
+  const Bus c = concat(s, h.a);
+  EXPECT_EQ(c.size(), 9u);
+  EXPECT_EQ(c[3], h.a[0]);
+  EXPECT_THROW((void)slice(h.a, 6, 0), std::invalid_argument);
+  EXPECT_THROW((void)slice(h.a, 2, 3), std::invalid_argument);
+}
+
+TEST(Components, OrReduce) {
+  Harness h{4, 0};
+  h.m.add_output("o", Bus{or_reduce(h.m, h.a)});
+  Simulator sim{h.m};
+  EXPECT_EQ(sim.run({0}), 0u);
+  for (std::uint64_t v = 1; v < 16; ++v) ASSERT_EQ(sim.run({v}), 1u);
+}

@@ -1,0 +1,57 @@
+#include "realm/numeric/dilog.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "realm/numeric/quadrature.hpp"
+
+namespace num = realm::num;
+
+TEST(Dilog, KnownClosedFormValues) {
+  const double pi = std::acos(-1.0);
+  EXPECT_DOUBLE_EQ(num::dilog(0.0), 0.0);
+  EXPECT_NEAR(num::dilog(1.0), pi * pi / 6.0, 1e-15);
+  EXPECT_NEAR(num::dilog(-1.0), -pi * pi / 12.0, 1e-14);
+  // Li2(1/2) = π²/12 - ln²2/2.
+  const double ln2 = std::log(2.0);
+  EXPECT_NEAR(num::dilog(0.5), pi * pi / 12.0 - 0.5 * ln2 * ln2, 1e-14);
+}
+
+TEST(Dilog, MatchesDefiningIntegral) {
+  // Li2(x) = -∫_0^x ln(1-t)/t dt, integrable since ln(1-t)/t -> -1 at 0.
+  for (const double x : {0.1, 0.25, 1.0 / 3.0, 0.5, 0.66, 0.9, -0.4, -2.0}) {
+    const double integral = num::integrate(
+        [](double t) { return t == 0.0 ? -1.0 : std::log1p(-t) / t; },
+        0.0, x, 1e-13);
+    EXPECT_NEAR(num::dilog(x), -integral, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(Dilog, ReflectionIdentity) {
+  // Li2(x) + Li2(1-x) = π²/6 - ln(x)·ln(1-x) for 0 < x < 1.
+  const double pi = std::acos(-1.0);
+  for (double x = 0.05; x < 1.0; x += 0.05) {
+    const double lhs = num::dilog(x) + num::dilog(1.0 - x);
+    const double rhs = pi * pi / 6.0 - std::log(x) * std::log1p(-x);
+    EXPECT_NEAR(lhs, rhs, 1e-13) << "x=" << x;
+  }
+}
+
+TEST(Dilog, MonotoneOnPositiveAxis) {
+  double prev = num::dilog(0.0);
+  for (double x = 0.02; x <= 1.0; x += 0.02) {
+    const double v = num::dilog(x);
+    EXPECT_GT(v, prev) << "x=" << x;
+    prev = v;
+  }
+}
+
+TEST(Dilog, SeriesRegionConsistency) {
+  // Values straddling the internal switch points must be continuous.
+  for (const double x0 : {0.5, -0.5, -1.0}) {
+    const double below = num::dilog(x0 - 1e-9);
+    const double above = num::dilog(x0 + 1e-9);
+    EXPECT_NEAR(below, above, 1e-7) << "switch at " << x0;
+  }
+}

@@ -1,0 +1,130 @@
+#include "realm/core/divider.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "realm/numeric/bits.hpp"
+#include "realm/numeric/quadrature.hpp"
+#include "realm/numeric/rng.hpp"
+
+using namespace realm;
+namespace core = realm::core;
+
+TEST(DivisionError, OneSidedWithKnownSupremum) {
+  double worst = 0.0;
+  for (double x = 0.0; x < 1.0; x += 0.005) {
+    for (double y = 0.0; y < 1.0; y += 0.005) {
+      const double e = core::mitchell_division_error(x, y);
+      ASSERT_GE(e, 0.0);
+      worst = std::max(worst, e);
+    }
+  }
+  // Sup is 1/8, attained in the limit x->1, y=1/2 (and x=0, y=1/2).
+  EXPECT_LT(worst, 0.125 + 1e-9);
+  EXPECT_GT(worst, 0.120);
+  EXPECT_NEAR(core::mitchell_division_error(0.0, 0.5), 0.125, 1e-12);
+}
+
+TEST(DivisionError, ZeroOnTheDiagonalAndAxes) {
+  for (double t = 0.0; t < 1.0; t += 0.01) {
+    EXPECT_DOUBLE_EQ(core::mitchell_division_error(t, t), 0.0);   // x = y exact
+    EXPECT_DOUBLE_EQ(core::mitchell_division_error(t, 0.0), 0.0); // y = 0 exact
+  }
+}
+
+TEST(DivisionFactors, PositiveBoundedAndZeroMean) {
+  const int m = 4;
+  const auto table = core::division_factor_table(m);
+  ASSERT_EQ(table.size(), 16u);
+  const double w = 1.0 / m;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double s = table[static_cast<std::size_t>(i * m + j)];
+      EXPECT_GE(s, 0.0);
+      // s is the error divided by the mean weight (1+y)/(1+x), which can dip
+      // below 1 — so s may exceed the raw error's 1/8 sup, bounded by 1/4.
+      EXPECT_LT(s, 0.25);
+      // Defining property: zero mean relative error with s applied.
+      const double residual = num::integrate2d(
+          [&](double x, double y) {
+            return core::mitchell_division_error(x, y) -
+                   s * (1.0 + y) / (1.0 + x);
+          },
+          i * w, (i + 1) * w, j * w, (j + 1) * w, 1e-10);
+      EXPECT_NEAR(residual, 0.0, 1e-8) << i << "," << j;
+    }
+  }
+}
+
+TEST(MitchellDivider, ExactOnPowersOfTwoAndEqualFractions) {
+  const core::MitchellDivider div{16};
+  EXPECT_EQ(div.divide(4096, 16), 256u);
+  EXPECT_EQ(div.divide(65535, 1), 65535u);
+  // Same fraction (x = y): 48/24 = 2 exactly.
+  EXPECT_EQ(div.divide(48, 24), 2u);
+  EXPECT_EQ(div.divide(40960, 160), 256u);
+}
+
+TEST(MitchellDivider, DivideByZeroSaturatesAndZeroNumerator) {
+  const core::MitchellDivider div{16};
+  EXPECT_EQ(div.divide(1234, 0), num::mask(16));
+  EXPECT_EQ(div.divide(0, 1234), 0u);
+}
+
+TEST(MitchellDivider, OverestimatesWithinTwelveAndAHalfPercent) {
+  const core::MitchellDivider div{16};
+  num::Xoshiro256 rng{5};
+  for (int it = 0; it < 100000; ++it) {
+    // Keep quotients >= ~32 so integer flooring noise stays below the
+    // log-approximation error.
+    const std::uint64_t b = 1 + rng.below(255);
+    const std::uint64_t a = (b << 6) + rng.below(65536 - (b << 6));
+    const double exact = static_cast<double>(a) / static_cast<double>(b);
+    const double rel = 100.0 * (static_cast<double>(div.divide(a, b)) - exact) / exact;
+    ASSERT_GT(rel, -3.5) << a << "/" << b;   // flooring of the final shift
+    ASSERT_LT(rel, 12.6) << a << "/" << b;
+  }
+}
+
+TEST(RealmDivider, ReducesMeanErrorVersusMitchell) {
+  const core::MitchellDivider mitchell{16};
+  const core::RealmDivider realm{{.n = 16, .m = 8, .q = 6}};
+  num::Xoshiro256 rng{6};
+  double sum_m = 0.0, sum_r = 0.0, bias_r = 0.0;
+  int count = 0;
+  for (int it = 0; it < 200000; ++it) {
+    const std::uint64_t b = 1 + rng.below(255);
+    const std::uint64_t a = (b << 6) + rng.below(65536 - (b << 6));
+    const double exact = static_cast<double>(a) / static_cast<double>(b);
+    const double em =
+        (static_cast<double>(mitchell.divide(a, b)) - exact) / exact;
+    const double er = (static_cast<double>(realm.divide(a, b)) - exact) / exact;
+    sum_m += std::fabs(em);
+    sum_r += std::fabs(er);
+    bias_r += er;
+    ++count;
+  }
+  EXPECT_LT(sum_r / count, 0.55 * sum_m / count);  // big mean-error win
+  EXPECT_LT(std::fabs(bias_r / count), 0.02);      // near-unbiased
+}
+
+TEST(RealmDivider, LutEntriesFitTheQuantization) {
+  const core::RealmDivider div{{.n = 16, .m = 8, .q = 6}};
+  EXPECT_EQ(div.lut_units().size(), 64u);
+  for (const auto u : div.lut_units()) EXPECT_LT(u, 64u);
+  EXPECT_EQ(div.name(), "REALM-DIV8");
+}
+
+TEST(RealmDivider, ConfigValidation) {
+  EXPECT_THROW(core::RealmDivider({.n = 1, .m = 8, .q = 6}), std::invalid_argument);
+  EXPECT_THROW(core::RealmDivider({.n = 16, .m = 3, .q = 6}), std::invalid_argument);
+  EXPECT_THROW(core::RealmDivider({.n = 16, .m = 8, .q = 2}), std::invalid_argument);
+  EXPECT_NO_THROW(core::RealmDivider({.n = 16, .m = 16, .q = 6}));
+}
+
+TEST(RealmDivider, DivideByZeroAndZeroNumerator) {
+  const core::RealmDivider div{{.n = 16, .m = 4, .q = 6}};
+  EXPECT_EQ(div.divide(99, 0), num::mask(16));
+  EXPECT_EQ(div.divide(0, 99), 0u);
+}

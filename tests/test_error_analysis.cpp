@@ -1,0 +1,72 @@
+// The analytic prediction, the bit-level Monte-Carlo, and the paper's
+// Table I must all tell the same story — three independent derivations.
+
+#include "realm/core/error_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "realm/error/monte_carlo.hpp"
+#include "realm/multipliers/registry.hpp"
+
+using namespace realm;
+namespace core = realm::core;
+
+TEST(ErrorAnalysis, MitchellAnalyticsMatchTheClassicNumbers) {
+  const auto p = core::predict_mitchell_errors();
+  EXPECT_NEAR(p.bias_pct, -3.85, 0.02);
+  EXPECT_NEAR(p.mean_pct, 3.85, 0.02);
+  EXPECT_NEAR(p.min_pct, -100.0 / 9.0, 0.02);
+  EXPECT_NEAR(p.max_pct, 0.0, 1e-6);
+  EXPECT_NEAR(p.variance, 8.63, 0.05);
+}
+
+class RealmPredictionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RealmPredictionTest, MatchesTable1AtTZero) {
+  const int m = GetParam();
+  const core::SegmentLut lut{m, 6};
+  const auto p = core::predict_realm_errors(lut);
+
+  struct Expect {
+    int m;
+    double mean, min, max, var;
+  };
+  const Expect rows[] = {{16, 0.42, -2.08, 1.79, 0.28},
+                         {8, 0.75, -3.70, 2.88, 0.92},
+                         {4, 1.38, -5.71, 5.21, 3.07}};
+  for (const auto& row : rows) {
+    if (row.m != m) continue;
+    EXPECT_NEAR(p.mean_pct, row.mean, 0.03);
+    EXPECT_NEAR(p.min_pct, row.min, 0.08);
+    EXPECT_NEAR(p.max_pct, row.max, 0.08);
+    EXPECT_NEAR(p.variance, row.var, 0.05);
+    EXPECT_LT(std::abs(p.bias_pct), 0.06);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PracticalM, RealmPredictionTest, ::testing::Values(4, 8, 16));
+
+TEST(ErrorAnalysis, PredictionMatchesTheBitLevelModel) {
+  // Analytic (residual surface) vs bit-level Monte-Carlo, t = 0: the two
+  // derivations share no code path beyond the LUT constants.
+  for (const int m : {4, 8, 16}) {
+    const core::SegmentLut lut{m, 6};
+    const auto predicted = core::predict_realm_errors(lut);
+    const auto model =
+        mult::make_multiplier("realm:m=" + std::to_string(m) + ",t=0", 16);
+    err::MonteCarloOptions opts;
+    opts.samples = 1 << 20;
+    const auto measured = err::monte_carlo(*model, opts);
+    EXPECT_NEAR(predicted.mean_pct, measured.mean, 0.05) << m;
+    EXPECT_NEAR(predicted.bias_pct, measured.bias, 0.06) << m;
+    EXPECT_NEAR(predicted.min_pct, measured.min, 0.15) << m;
+    EXPECT_NEAR(predicted.max_pct, measured.max, 0.15) << m;
+  }
+}
+
+TEST(ErrorAnalysis, FinerQuantizationNeverWorsensPredictedMean) {
+  const core::SegmentLut q6{8, 6};
+  const core::SegmentLut q10{8, 10};
+  EXPECT_LE(core::predict_realm_errors(q10).mean_pct,
+            core::predict_realm_errors(q6).mean_pct + 0.01);
+}

@@ -1,0 +1,130 @@
+#include "realm/error/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "realm/error/histogram.hpp"
+#include "realm/numeric/rng.hpp"
+
+namespace err = realm::err;
+namespace num = realm::num;
+
+TEST(ErrorAccumulator, MatchesDirectFormulas) {
+  const std::vector<double> es{0.01, -0.02, 0.03, 0.0, -0.015, 0.025};
+  err::ErrorAccumulator acc;
+  for (const double e : es) acc.add(e);
+  const auto m = acc.metrics();
+
+  double sum = 0, asum = 0, mn = 1e9, mx = -1e9;
+  for (const double e : es) {
+    sum += e;
+    asum += std::fabs(e);
+    mn = std::min(mn, e);
+    mx = std::max(mx, e);
+  }
+  const double mean = sum / static_cast<double>(es.size());
+  double var = 0;
+  for (const double e : es) var += (e - mean) * (e - mean);
+  var /= static_cast<double>(es.size());
+
+  EXPECT_NEAR(m.bias, 100.0 * mean, 1e-12);
+  EXPECT_NEAR(m.mean, 100.0 * asum / static_cast<double>(es.size()), 1e-12);
+  EXPECT_NEAR(m.variance, 1e4 * var, 1e-10);
+  EXPECT_NEAR(m.min, 100.0 * mn, 1e-12);
+  EXPECT_NEAR(m.max, 100.0 * mx, 1e-12);
+  EXPECT_EQ(m.samples, es.size());
+}
+
+TEST(ErrorAccumulator, MergeEqualsSequential) {
+  num::Xoshiro256 rng{13};
+  err::ErrorAccumulator whole, a, b, c;
+  for (int i = 0; i < 9000; ++i) {
+    const double e = rng.uniform() - 0.5;
+    whole.add(e);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(e);
+  }
+  err::ErrorAccumulator merged;
+  merged.merge(a);
+  merged.merge(b);
+  merged.merge(c);
+  const auto mw = whole.metrics();
+  const auto mm = merged.metrics();
+  EXPECT_NEAR(mw.bias, mm.bias, 1e-9);
+  EXPECT_NEAR(mw.mean, mm.mean, 1e-9);
+  EXPECT_NEAR(mw.variance, mm.variance, 1e-7);
+  EXPECT_EQ(mw.samples, mm.samples);
+  EXPECT_EQ(mw.min, mm.min);
+  EXPECT_EQ(mw.max, mm.max);
+}
+
+TEST(ErrorAccumulator, MergeWithEmptyIsIdentity) {
+  err::ErrorAccumulator a, empty;
+  a.add(0.5);
+  a.merge(empty);
+  EXPECT_EQ(a.metrics().samples, 1u);
+  err::ErrorAccumulator b;
+  b.merge(a);
+  EXPECT_EQ(b.metrics().samples, 1u);
+  EXPECT_NEAR(b.metrics().bias, 50.0, 1e-12);
+}
+
+TEST(ErrorAccumulator, PairsSkipZeroExact) {
+  err::ErrorAccumulator acc;
+  acc.add_pair(10.0, 0.0);  // undefined relative error -> skipped
+  acc.add_pair(90.0, 100.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_NEAR(acc.metrics().bias, -10.0, 1e-12);
+}
+
+TEST(ErrorMetrics, PeakIsMaxAbsOfMinMax) {
+  err::ErrorMetrics m;
+  m.min = -7.5;
+  m.max = 3.0;
+  EXPECT_DOUBLE_EQ(m.peak(), 7.5);
+  m.max = 9.0;
+  EXPECT_DOUBLE_EQ(m.peak(), 9.0);
+}
+
+TEST(ErrorMetrics, SummaryMentionsEveryField) {
+  err::ErrorAccumulator acc;
+  acc.add(0.01);
+  const std::string s = acc.metrics().summary();
+  EXPECT_NE(s.find("bias="), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+  EXPECT_NE(s.find("var="), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(Histogram, BinningAndEdges) {
+  err::Histogram h{-10.0, 10.0, 20};
+  h.add(-10.0);  // first bin (inclusive lower edge)
+  h.add(9.9999); // last bin
+  h.add(10.0);   // overflow (exclusive upper edge)
+  h.add(-10.1);  // underflow
+  h.add(0.0);    // bin 10
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(19), 1u);
+  EXPECT_EQ(h.count(10), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.center(0), -9.5);
+  EXPECT_DOUBLE_EQ(h.center(19), 9.5);
+  EXPECT_NEAR(h.density(10), 0.2, 1e-12);
+}
+
+TEST(Histogram, CsvHasHeaderAndOneRowPerBin) {
+  err::Histogram h{0, 1, 4};
+  h.add(0.5);
+  const std::string csv = h.to_csv();
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+  EXPECT_EQ(csv.rfind("center,count,density", 0), 0u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(err::Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(err::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}

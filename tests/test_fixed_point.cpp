@@ -1,0 +1,51 @@
+#include "realm/numeric/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace num = realm::num;
+
+namespace {
+const num::UMulFn kExact = [](std::uint64_t a, std::uint64_t b) { return a * b; };
+}
+
+TEST(FixedPoint, SignedMulSignGrid) {
+  EXPECT_EQ(num::signed_mul(3, 4, kExact), 12);
+  EXPECT_EQ(num::signed_mul(-3, 4, kExact), -12);
+  EXPECT_EQ(num::signed_mul(3, -4, kExact), -12);
+  EXPECT_EQ(num::signed_mul(-3, -4, kExact), 12);
+  EXPECT_EQ(num::signed_mul(0, -4, kExact), 0);
+}
+
+TEST(FixedPoint, SignedMulRoutesThroughProvidedMultiplier) {
+  int calls = 0;
+  const num::UMulFn counting = [&](std::uint64_t a, std::uint64_t b) {
+    ++calls;
+    return a * b;
+  };
+  EXPECT_EQ(num::signed_mul(-5, 6, counting), -30);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(FixedPoint, FxMulTruncatesTowardZero) {
+  // 1.5 * 1.5 = 2.25 -> 2.25 in Q8 = 576; check truncation on negatives.
+  const std::int32_t a = num::to_fx(1.5, 8);
+  EXPECT_EQ(num::fx_mul(a, a, 8, kExact), num::to_fx(2.25, 8));
+  const std::int32_t m = num::to_fx(-1.5, 8);
+  EXPECT_EQ(num::fx_mul(m, a, 8, kExact), -num::to_fx(2.25, 8));
+  // (-3) * 1 with 1 fraction bit: -3/2 * 1/2 = -0.75 -> truncates to -0.5 raw -1.
+  EXPECT_EQ(num::fx_mul(-3, 1, 1, kExact), -1);
+}
+
+TEST(FixedPoint, ToFromFxRoundTrip) {
+  for (const double v : {0.0, 0.25, -0.25, 1.999, -3.125}) {
+    EXPECT_NEAR(num::from_fx(num::to_fx(v, 12), 12), v, 1.0 / (1 << 12));
+  }
+}
+
+TEST(FixedPoint, SatSignedClampsToRange) {
+  EXPECT_EQ(num::sat_signed(40000, 16), 32767);
+  EXPECT_EQ(num::sat_signed(-40000, 16), -32768);
+  EXPECT_EQ(num::sat_signed(123, 16), 123);
+  EXPECT_EQ(num::sat_signed(-32768, 16), -32768);
+  EXPECT_EQ(num::sat_signed(32767, 16), 32767);
+}

@@ -1,0 +1,103 @@
+#include "realm/fp/float_multiplier.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "realm/multipliers/registry.hpp"
+#include "realm/numeric/rng.hpp"
+
+using namespace realm;
+namespace fp = realm::fp;
+
+namespace {
+
+float rand_float(num::Xoshiro256& rng, float lo, float hi) {
+  return lo + static_cast<float>(rng.uniform()) * (hi - lo);
+}
+
+}  // namespace
+
+TEST(FloatMultiplier, ExactCoreIsWithinOneUlpOfIeee) {
+  const auto mul = fp::ApproxFloatMultiplier::from_spec("accurate");
+  num::Xoshiro256 rng{1};
+  for (int it = 0; it < 100000; ++it) {
+    const float a = rand_float(rng, -1e6f, 1e6f);
+    const float b = rand_float(rng, -1e3f, 1e3f);
+    const float got = mul.multiply(a, b);
+    const double exact = static_cast<double>(a) * static_cast<double>(b);
+    if (exact == 0.0) continue;
+    // Truncating normalization vs IEEE round-to-nearest: <= 1 ulp ~ 2^-23.
+    ASSERT_NEAR(got / exact, 1.0, std::ldexp(1.0, -22)) << a << "*" << b;
+  }
+}
+
+TEST(FloatMultiplier, SignHandling) {
+  const auto mul = fp::ApproxFloatMultiplier::from_spec("accurate");
+  EXPECT_GT(mul.multiply(2.0f, 3.0f), 0.0f);
+  EXPECT_LT(mul.multiply(-2.0f, 3.0f), 0.0f);
+  EXPECT_LT(mul.multiply(2.0f, -3.0f), 0.0f);
+  EXPECT_GT(mul.multiply(-2.0f, -3.0f), 0.0f);
+}
+
+TEST(FloatMultiplier, SpecialValues) {
+  const auto mul = fp::ApproxFloatMultiplier::from_spec("accurate");
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+
+  EXPECT_TRUE(std::isnan(mul.multiply(nan, 2.0f)));
+  EXPECT_TRUE(std::isnan(mul.multiply(2.0f, nan)));
+  EXPECT_TRUE(std::isnan(mul.multiply(inf, 0.0f)));
+  EXPECT_TRUE(std::isnan(mul.multiply(0.0f, -inf)));
+  EXPECT_TRUE(std::isinf(mul.multiply(inf, 2.0f)));
+  EXPECT_LT(mul.multiply(inf, -2.0f), 0.0f);
+  EXPECT_EQ(mul.multiply(0.0f, 123.0f), 0.0f);
+  EXPECT_EQ(mul.multiply(123.0f, -0.0f), -0.0f);
+}
+
+TEST(FloatMultiplier, OverflowToInfUnderflowToZero) {
+  const auto mul = fp::ApproxFloatMultiplier::from_spec("accurate");
+  EXPECT_TRUE(std::isinf(mul.multiply(3e38f, 3e38f)));
+  EXPECT_EQ(mul.multiply(1e-30f, 1e-30f), 0.0f);  // flush-to-zero policy
+  // Subnormal inputs flush to zero too.
+  EXPECT_EQ(mul.multiply(std::numeric_limits<float>::denorm_min(), 2.0f), 0.0f);
+}
+
+TEST(FloatMultiplier, RealmCoreInheritsItsErrorEnvelope) {
+  // The FP relative error equals the 24-bit mantissa multiplier's relative
+  // error (exponents add exactly) — REALM16's ±~2.1 % envelope plus the
+  // 1-ulp truncation.
+  const auto mul = fp::ApproxFloatMultiplier::from_spec("realm:m=16,t=0");
+  num::Xoshiro256 rng{2};
+  double mean = 0.0;
+  int count = 0;
+  for (int it = 0; it < 50000; ++it) {
+    const float a = rand_float(rng, 0.001f, 1e5f);
+    const float b = rand_float(rng, 0.001f, 1e5f);
+    const double exact = static_cast<double>(a) * static_cast<double>(b);
+    const double rel = (static_cast<double>(mul.multiply(a, b)) - exact) / exact;
+    ASSERT_GT(rel, -0.022);
+    ASSERT_LT(rel, 0.019);
+    mean += std::fabs(rel);
+    ++count;
+  }
+  EXPECT_LT(mean / count, 0.006);  // ~0.42 % mean error
+}
+
+TEST(FloatMultiplier, MitchellCoreNeverOverestimates) {
+  const auto mul = fp::ApproxFloatMultiplier::from_spec("calm");
+  num::Xoshiro256 rng{3};
+  for (int it = 0; it < 20000; ++it) {
+    const float a = rand_float(rng, 0.5f, 100.0f);
+    const float b = rand_float(rng, 0.5f, 100.0f);
+    const double exact = static_cast<double>(a) * static_cast<double>(b);
+    ASSERT_LE(static_cast<double>(mul.multiply(a, b)), exact * (1.0 + 1e-7));
+  }
+}
+
+TEST(FloatMultiplier, RejectsWrongCoreWidth) {
+  EXPECT_THROW(fp::ApproxFloatMultiplier(mult::make_multiplier("accurate", 16)),
+               std::invalid_argument);
+  EXPECT_THROW(fp::ApproxFloatMultiplier{nullptr}, std::invalid_argument);
+}

@@ -1,0 +1,304 @@
+#include "realm/jpeg/codec.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "realm/jpeg/dct.hpp"
+#include "realm/jpeg/huffman.hpp"
+#include "realm/jpeg/quality.hpp"
+#include "realm/jpeg/quant.hpp"
+#include "realm/jpeg/synthetic.hpp"
+#include "realm/multipliers/registry.hpp"
+#include "realm/numeric/rng.hpp"
+
+using namespace realm;
+namespace jp = realm::jpeg;
+
+namespace {
+const num::UMulFn kExact = [](std::uint64_t a, std::uint64_t b) { return a * b; };
+}
+
+TEST(Image, PgmRoundTrip) {
+  jp::Image img{16, 8};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 16; ++x) img.set(x, y, static_cast<std::uint8_t>(x * 16 + y));
+  }
+  const auto path = std::filesystem::temp_directory_path() / "realm_test.pgm";
+  jp::write_pgm(img, path.string());
+  const jp::Image back = jp::read_pgm(path.string());
+  EXPECT_EQ(back.width(), 16);
+  EXPECT_EQ(back.height(), 8);
+  EXPECT_EQ(back.pixels(), img.pixels());
+  std::filesystem::remove(path);
+}
+
+TEST(Image, BoundsChecking) {
+  jp::Image img{4, 4};
+  EXPECT_THROW((void)img.at(4, 0), std::out_of_range);
+  EXPECT_THROW(img.set(0, -1, 0), std::out_of_range);
+}
+
+TEST(Dct, MatrixIsOrthonormalInQ12) {
+  // C·Cᵀ = I within quantization noise.
+  const auto& c = jp::dct_matrix_q12();
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double dot = 0.0;
+      for (int k = 0; k < 8; ++k) {
+        dot += static_cast<double>(c[static_cast<std::size_t>(i * 8 + k)]) *
+               static_cast<double>(c[static_cast<std::size_t>(j * 8 + k)]);
+      }
+      dot /= (1 << jp::kDctCoeffBits) * static_cast<double>(1 << jp::kDctCoeffBits);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 2e-3) << i << "," << j;
+    }
+  }
+}
+
+TEST(Dct, ConstantBlockConcentratesInDc) {
+  std::array<std::int16_t, 64> block{}, out{};
+  block.fill(100);
+  jp::fdct8x8(block, out, kExact);
+  EXPECT_NEAR(out[0], 800, 2);  // DC = 8·mean
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(out[static_cast<std::size_t>(i)], 0, 2);
+}
+
+TEST(Dct, ForwardInverseRoundTripIsTight) {
+  num::Xoshiro256 rng{31};
+  double worst = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<std::int16_t, 64> in{}, co{}, out{};
+    for (auto& v : in) v = static_cast<std::int16_t>(rng.below(256)) - 128;
+    jp::fdct8x8(in, co, kExact);
+    jp::idct8x8(co, out, kExact);
+    for (int i = 0; i < 64; ++i) {
+      worst = std::max(worst, std::fabs(static_cast<double>(out[static_cast<std::size_t>(i)] -
+                                                            in[static_cast<std::size_t>(i)])));
+    }
+  }
+  // Random noise blocks are the worst case for Q12 coefficient quantization:
+  // a few pixels can be off by up to ~10 counts while the RMS stays ~1.
+  EXPECT_LE(worst, 12.0);
+}
+
+TEST(Dct, ForwardInverseRoundTripRmsIsSmall) {
+  num::Xoshiro256 rng{32};
+  double err2 = 0.0;
+  long count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<std::int16_t, 64> in{}, co{}, out{};
+    for (auto& v : in) v = static_cast<std::int16_t>(rng.below(256)) - 128;
+    jp::fdct8x8(in, co, kExact);
+    jp::idct8x8(co, out, kExact);
+    for (int i = 0; i < 64; ++i) {
+      const double d = out[static_cast<std::size_t>(i)] - in[static_cast<std::size_t>(i)];
+      err2 += d * d;
+      ++count;
+    }
+  }
+  EXPECT_LE(std::sqrt(err2 / static_cast<double>(count)), 3.0);
+}
+
+TEST(Quant, QualityScalingMatchesLibjpegConvention) {
+  const auto q50 = jp::scaled_table(50);
+  EXPECT_EQ(q50, jp::base_luminance_table());  // quality 50 = table verbatim
+  const auto q100 = jp::scaled_table(100);
+  for (const auto v : q100) EXPECT_EQ(v, 1);  // scale 0 clamps to 1
+  const auto q25 = jp::scaled_table(25);
+  EXPECT_GT(q25[0], q50[0]);  // coarser at lower quality
+  EXPECT_THROW((void)jp::scaled_table(0), std::invalid_argument);
+  EXPECT_THROW((void)jp::scaled_table(101), std::invalid_argument);
+}
+
+TEST(Quant, QuantizeRoundsToNearestSigned) {
+  EXPECT_EQ(jp::quantize(33, 16), 2);
+  EXPECT_EQ(jp::quantize(39, 16), 2);
+  EXPECT_EQ(jp::quantize(40, 16), 3);  // half rounds away
+  EXPECT_EQ(jp::quantize(-40, 16), -3);
+  EXPECT_EQ(jp::quantize(-39, 16), -2);
+  EXPECT_EQ(jp::quantize(0, 16), 0);
+}
+
+TEST(Quant, ZigzagIsAPermutationWithKnownPrefix) {
+  const auto& zz = jp::zigzag_order();
+  std::array<bool, 64> seen{};
+  for (const int idx : zz) {
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, 64);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+    seen[static_cast<std::size_t>(idx)] = true;
+  }
+  // First entries of the JPEG zigzag: (0,0) (0,1) (1,0) (2,0) (1,1) (0,2).
+  EXPECT_EQ(zz[0], 0);
+  EXPECT_EQ(zz[1], 1);
+  EXPECT_EQ(zz[2], 8);
+  EXPECT_EQ(zz[3], 16);
+  EXPECT_EQ(zz[4], 9);
+  EXPECT_EQ(zz[5], 2);
+  EXPECT_EQ(zz[63], 63);
+}
+
+TEST(Huffman, BitIoRoundTrip) {
+  jp::BitWriter w;
+  w.put(0b101, 3);
+  w.put(0b0110, 4);
+  w.put(0b1, 1);
+  w.put(0xABCD, 16);
+  const auto bytes = w.finish();
+  jp::BitReader r{bytes};
+  EXPECT_EQ(r.get(3), 0b101u);
+  EXPECT_EQ(r.get(4), 0b0110u);
+  EXPECT_EQ(r.get(1), 1u);
+  EXPECT_EQ(r.get(16), 0xABCDu);
+}
+
+TEST(Huffman, CanonicalCodeRoundTripsRandomStreams) {
+  num::Xoshiro256 rng{41};
+  // Skewed frequencies over 40 symbols.
+  std::vector<std::uint64_t> freq(40, 0);
+  std::vector<int> stream;
+  for (int i = 0; i < 20000; ++i) {
+    const int sym = static_cast<int>(rng.below(40) * rng.below(40) / 40);
+    ++freq[static_cast<std::size_t>(sym)];
+    stream.push_back(sym);
+  }
+  const auto code = jp::HuffmanCode::from_frequencies(freq);
+  jp::BitWriter w;
+  for (const int s : stream) code.encode(w, s);
+  const auto bytes = w.finish();
+
+  const auto decoder = jp::HuffmanCode::from_lengths(code.lengths());
+  jp::BitReader r{bytes};
+  for (const int s : stream) ASSERT_EQ(decoder.decode(r), s);
+}
+
+TEST(Huffman, CompressesSkewedSources) {
+  std::vector<std::uint64_t> freq{1000, 10, 10, 10};
+  const auto code = jp::HuffmanCode::from_frequencies(freq);
+  EXPECT_EQ(code.lengths()[0], 1);  // dominant symbol gets the shortest code
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freq{0, 42, 0};
+  const auto code = jp::HuffmanCode::from_frequencies(freq);
+  jp::BitWriter w;
+  code.encode(w, 1);
+  code.encode(w, 1);
+  const auto bytes = w.finish();
+  jp::BitReader r{bytes};
+  EXPECT_EQ(code.decode(r), 1);
+  EXPECT_EQ(code.decode(r), 1);
+  EXPECT_THROW(code.encode(w, 0), std::invalid_argument);
+}
+
+TEST(Codec, ExactMultiplierRoundTripIsHighQuality) {
+  const jp::Image img = jp::synthetic_lena(128);
+  jp::CodecOptions opts;  // exact multiplier
+  const jp::Image rec = jp::roundtrip(img, opts);
+  EXPECT_GT(jp::psnr(img, rec), 33.0);
+}
+
+TEST(Codec, BitstreamIsActuallyCompressed) {
+  const jp::Image img = jp::synthetic_livingroom(128);
+  const auto c = jp::encode(img, {});
+  EXPECT_LT(c.size_bytes(), img.pixels().size() / 2);
+  EXPECT_GT(c.size_bytes(), 100u);
+}
+
+TEST(Codec, DecodeIsDeterministic) {
+  const jp::Image img = jp::synthetic_cameraman(64);
+  const auto c = jp::encode(img, {});
+  const jp::Image a = jp::decode(c, {});
+  const jp::Image b = jp::decode(c, {});
+  EXPECT_EQ(a.pixels(), b.pixels());
+}
+
+TEST(Codec, RequiresMultipleOf8Dimensions) {
+  const jp::Image img{12, 8};
+  EXPECT_THROW((void)jp::encode(img, {}), std::invalid_argument);
+}
+
+TEST(Codec, RealmTracksAccurateWithinOneDb) {
+  const jp::Image img = jp::synthetic_lena(128);
+  jp::CodecOptions exact_opts;
+  const double ref = jp::psnr(img, jp::roundtrip(img, exact_opts));
+
+  const auto mul = mult::make_multiplier("realm:m=16,t=8", 16);
+  jp::CodecOptions opts;
+  opts.umul = mul->as_function();
+  const double got = jp::psnr(img, jp::roundtrip(img, opts));
+  EXPECT_GT(got, ref - 1.2);
+}
+
+TEST(Codec, CalmDegradesQualityMarkedly) {
+  const jp::Image img = jp::synthetic_lena(128);
+  jp::CodecOptions exact_opts;
+  const double ref = jp::psnr(img, jp::roundtrip(img, exact_opts));
+  const auto mul = mult::make_multiplier("calm", 16);
+  jp::CodecOptions opts;
+  opts.umul = mul->as_function();
+  EXPECT_LT(jp::psnr(img, jp::roundtrip(img, opts)), ref - 2.0);
+}
+
+TEST(Synthetic, ImagesAreDeterministicAndFullRange) {
+  const jp::Image a = jp::synthetic_cameraman(64);
+  const jp::Image b = jp::synthetic_cameraman(64);
+  EXPECT_EQ(a.pixels(), b.pixels());
+  for (const auto& ni : jp::table2_images(64)) {
+    int lo = 255, hi = 0;
+    for (const auto p : ni.image.pixels()) {
+      lo = std::min<int>(lo, p);
+      hi = std::max<int>(hi, p);
+    }
+    EXPECT_LT(lo, 64) << ni.name;   // real shadows
+    EXPECT_GT(hi, 180) << ni.name;  // real highlights
+  }
+}
+
+TEST(Quality, PsnrProperties) {
+  jp::Image a{8, 8, 100};
+  EXPECT_TRUE(std::isinf(jp::psnr(a, a)));
+  jp::Image b = a;
+  b.set(0, 0, 110);
+  const double m = jp::mse(a, b);
+  EXPECT_NEAR(m, 100.0 / 64.0, 1e-12);
+  EXPECT_NEAR(jp::psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / m), 1e-9);
+  jp::Image c{4, 4};
+  EXPECT_THROW((void)jp::mse(a, c), std::invalid_argument);
+}
+
+TEST(Bitstream, SerializeRoundTrips) {
+  const jp::Image img = jp::synthetic_cameraman(64);
+  const auto c = jp::encode(img, {});
+  const auto blob = jp::serialize(c);
+  const auto back = jp::deserialize(blob);
+  EXPECT_EQ(back.width, c.width);
+  EXPECT_EQ(back.height, c.height);
+  EXPECT_EQ(back.quality, c.quality);
+  EXPECT_EQ(back.payload, c.payload);
+  EXPECT_EQ(back.dc_code_lengths, c.dc_code_lengths);
+  EXPECT_EQ(back.ac_code_lengths, c.ac_code_lengths);
+  // Decoding the deserialized stream reproduces the image bit-for-bit.
+  EXPECT_EQ(jp::decode(back, {}).pixels(), jp::decode(c, {}).pixels());
+}
+
+TEST(Bitstream, FileRoundTripAndValidation) {
+  const jp::Image img = jp::synthetic_lena(64);
+  const auto c = jp::encode(img, {});
+  const auto path = std::filesystem::temp_directory_path() / "realm_stream.rjpg";
+  jp::write_compressed(c, path.string());
+  const auto back = jp::read_compressed(path.string());
+  EXPECT_EQ(jp::decode(back, {}).pixels(), jp::decode(c, {}).pixels());
+  std::filesystem::remove(path);
+
+  // Corruption is rejected loudly.
+  auto blob = jp::serialize(c);
+  blob[0] ^= 0xFF;  // magic
+  EXPECT_THROW((void)jp::deserialize(blob), std::runtime_error);
+  auto truncated = jp::serialize(c);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)jp::deserialize(truncated), std::runtime_error);
+  EXPECT_THROW((void)jp::deserialize({}), std::runtime_error);
+}

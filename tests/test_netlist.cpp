@@ -1,0 +1,123 @@
+#include "realm/hw/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "realm/hw/simulator.hpp"
+
+using namespace realm::hw;
+
+TEST(Netlist, ConstantRailsAreReserved) {
+  Module m{"t"};
+  EXPECT_EQ(m.net_count(), 2u);
+  EXPECT_EQ(m.inv(kConst0), kConst1);
+  EXPECT_EQ(m.inv(kConst1), kConst0);
+  EXPECT_EQ(m.net_count(), 2u);  // folding created no gates
+}
+
+TEST(Netlist, ConstantFoldingIdentities) {
+  Module m{"t"};
+  const auto a = m.add_input("a", 1)[0];
+  EXPECT_EQ(m.and2(a, kConst0), kConst0);
+  EXPECT_EQ(m.and2(a, kConst1), a);
+  EXPECT_EQ(m.and2(a, a), a);
+  EXPECT_EQ(m.or2(a, kConst1), kConst1);
+  EXPECT_EQ(m.or2(a, kConst0), a);
+  EXPECT_EQ(m.xor2(a, a), kConst0);
+  EXPECT_EQ(m.xor2(a, kConst0), a);
+  EXPECT_EQ(m.xnor2(a, a), kConst1);
+  EXPECT_EQ(m.mux(kConst0, a, kConst1), a);
+  EXPECT_EQ(m.mux(kConst1, a, kConst1), kConst1);
+  EXPECT_EQ(m.mux(a, kConst0, kConst1), a);  // mux(s,0,1) = s
+  EXPECT_EQ(m.gates().size(), 0u);
+}
+
+TEST(Netlist, FoldedMuxWithConstDataUsesCheaperGates) {
+  Module m{"t"};
+  const auto s = m.add_input("s", 1)[0];
+  const auto d = m.add_input("d", 1)[0];
+  (void)m.mux(s, kConst0, d);  // = and(s, d)
+  ASSERT_EQ(m.gates().size(), 1u);
+  EXPECT_EQ(m.gates()[0].kind, GateKind::kAnd2);
+}
+
+TEST(Netlist, StructuralHashingSharesIdenticalGates) {
+  Module m{"t"};
+  const auto a = m.add_input("a", 1)[0];
+  const auto b = m.add_input("b", 1)[0];
+  const NetId x = m.and2(a, b);
+  const NetId y = m.and2(a, b);
+  const NetId z = m.and2(b, a);  // commutative canonicalization
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(x, z);
+  EXPECT_EQ(m.gates().size(), 1u);
+  // Different kind or operands create fresh gates.
+  EXPECT_NE(m.or2(a, b), x);
+  EXPECT_EQ(m.gates().size(), 2u);
+}
+
+TEST(Netlist, PruneRemovesOnlyDeadCone) {
+  Module m{"t"};
+  const auto a = m.add_input("a", 1)[0];
+  const auto b = m.add_input("b", 1)[0];
+  const NetId live = m.xor2(a, b);
+  (void)m.and2(m.or2(a, b), b);  // dead cone of 2 gates
+  m.add_output("o", {live});
+  EXPECT_EQ(m.gates().size(), 3u);
+  EXPECT_EQ(m.prune(), 2u);
+  ASSERT_EQ(m.gates().size(), 1u);
+  EXPECT_EQ(m.gates()[0].out, live);
+  // Simulation still works after pruning.
+  Simulator sim{m};
+  EXPECT_EQ(sim.run({1, 0}), 1u);
+  EXPECT_EQ(sim.run({1, 1}), 0u);
+}
+
+TEST(Netlist, AreaAccumulatesCellAreas) {
+  Module m{"t"};
+  const auto a = m.add_input("a", 1)[0];
+  const auto b = m.add_input("b", 1)[0];
+  (void)m.and2(a, b);
+  (void)m.xor2(a, b);
+  EXPECT_DOUBLE_EQ(m.area_um2(), cell_spec(GateKind::kAnd2).area_um2 +
+                                     cell_spec(GateKind::kXor2).area_um2);
+}
+
+TEST(Netlist, HistogramCountsPerKind) {
+  Module m{"t"};
+  const auto a = m.add_input("a", 2);
+  (void)m.and2(a[0], a[1]);
+  (void)m.nand2(a[0], a[1]);
+  (void)m.inv(m.or2(a[0], a[1]));
+  const auto h = m.gate_histogram();
+  EXPECT_EQ(h[static_cast<int>(GateKind::kAnd2)], 1u);
+  EXPECT_EQ(h[static_cast<int>(GateKind::kNand2)], 1u);
+  EXPECT_EQ(h[static_cast<int>(GateKind::kOr2)], 1u);
+  EXPECT_EQ(h[static_cast<int>(GateKind::kInv)], 1u);
+}
+
+TEST(Netlist, RejectsForwardReferencesAndBadPorts) {
+  Module m{"t"};
+  EXPECT_THROW((void)m.and2(57, kConst0), std::invalid_argument);
+  EXPECT_THROW((void)m.add_input("w", 0), std::invalid_argument);
+  EXPECT_THROW(m.add_output("o", {99}), std::invalid_argument);
+  EXPECT_THROW((void)m.constant(0, 65), std::invalid_argument);
+}
+
+TEST(Netlist, ConstantBusBits) {
+  Module m{"t"};
+  const Bus c = m.constant(0b1011, 4);
+  EXPECT_EQ(c[0], kConst1);
+  EXPECT_EQ(c[1], kConst1);
+  EXPECT_EQ(c[2], kConst0);
+  EXPECT_EQ(c[3], kConst1);
+}
+
+TEST(Netlist, InputNetTracking) {
+  Module m{"t"};
+  const auto a = m.add_input("a", 3);
+  EXPECT_TRUE(m.is_input_net(a[0]));
+  EXPECT_TRUE(m.is_input_net(a[2]));
+  const NetId g = m.and2(a[0], a[1]);
+  EXPECT_FALSE(m.is_input_net(g));
+  EXPECT_FALSE(m.is_input_net(kConst0));
+}

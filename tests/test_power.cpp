@@ -1,0 +1,69 @@
+#include "realm/hw/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "realm/hw/circuits.hpp"
+
+using namespace realm::hw;
+
+namespace {
+
+StimulusProfile quick() {
+  StimulusProfile p;
+  p.cycles = 200;
+  return p;
+}
+
+}  // namespace
+
+TEST(Power, DeterministicForSeed) {
+  const Module m = build_circuit("calm", 16);
+  const auto a = estimate_power(m, quick());
+  const auto b = estimate_power(m, quick());
+  EXPECT_EQ(a.dynamic, b.dynamic);
+  EXPECT_EQ(a.leakage, b.leakage);
+}
+
+TEST(Power, ZeroToggleRateMeansZeroDynamic) {
+  const Module m = build_circuit("calm", 16);
+  StimulusProfile p = quick();
+  p.toggle_rate = 0.0;
+  const auto r = estimate_power(m, p);
+  EXPECT_EQ(r.dynamic, 0.0);
+  EXPECT_GT(r.leakage, 0.0);
+  EXPECT_EQ(r.total(), r.leakage);
+}
+
+TEST(Power, MonotoneInToggleRate) {
+  const Module m = build_circuit("accurate", 16);
+  StimulusProfile lo = quick(), hi = quick();
+  lo.toggle_rate = 0.1;
+  hi.toggle_rate = 0.5;
+  EXPECT_LT(estimate_power(m, lo).dynamic, estimate_power(m, hi).dynamic);
+}
+
+TEST(Power, GlitchModelNeverBelowFunctional) {
+  for (const char* spec : {"accurate", "calm", "drum:k=6"}) {
+    const Module m = build_circuit(spec, 16);
+    StimulusProfile func = quick(), glitch = quick();
+    glitch.count_glitches = true;
+    EXPECT_GE(estimate_power(m, glitch).dynamic, estimate_power(m, func).dynamic)
+        << spec;
+  }
+}
+
+TEST(Power, LeakageScalesWithGateCount) {
+  const Module big = build_circuit("accurate", 16);
+  const Module small = build_circuit("ssm:m=8", 16);
+  EXPECT_GT(estimate_power(big, quick()).leakage,
+            estimate_power(small, quick()).leakage);
+}
+
+TEST(Power, ApproximateDesignsBeatAccurate) {
+  const StimulusProfile p = quick();
+  const double acc = estimate_power(build_circuit("accurate", 16), p).total();
+  for (const char* spec : {"calm", "realm:m=16,t=0", "realm:m=4,t=9", "drum:k=5",
+                           "ssm:m=8"}) {
+    EXPECT_LT(estimate_power(build_circuit(spec, 16), p).total(), acc) << spec;
+  }
+}

@@ -1,0 +1,88 @@
+#include "realm/error/profile.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "realm/core/segment_factors.hpp"
+#include "realm/multipliers/mitchell.hpp"
+#include "realm/multipliers/registry.hpp"
+
+using namespace realm;
+
+TEST(ErrorProfile, CoversTheFullGridInRowMajorOrder) {
+  const mult::MitchellMultiplier m{16};
+  const auto pts = err::error_profile(m, 32, 35);
+  ASSERT_EQ(pts.size(), 16u);
+  EXPECT_EQ(pts.front().a, 32u);
+  EXPECT_EQ(pts.front().b, 32u);
+  EXPECT_EQ(pts.back().a, 35u);
+  EXPECT_EQ(pts.back().b, 35u);
+  EXPECT_EQ(pts[1].b, 33u);  // b varies fastest
+}
+
+TEST(ErrorProfile, MatchesAnalyticMitchellError) {
+  const mult::MitchellMultiplier m{16};
+  const auto pts = err::error_profile(m, 64, 127);
+  for (const auto& p : pts) {
+    const double x = static_cast<double>(p.a) / 64.0 - 1.0;
+    const double y = static_cast<double>(p.b) / 64.0 - 1.0;
+    const double analytic = 100.0 * core::mitchell_relative_error(x, y);
+    // The integer model truncates the final product; errors agree within the
+    // product's quantization (~1/(a·b) relative).
+    EXPECT_NEAR(p.rel_error_pct, analytic, 0.05) << p.a << "," << p.b;
+  }
+}
+
+TEST(ErrorProfile, CsvShapeIsRectangular) {
+  const mult::MitchellMultiplier m{16};
+  const auto pts = err::error_profile(m, 32, 33);
+  const std::string csv = err::profile_to_csv(pts);
+  EXPECT_EQ(csv.rfind("a,b,rel_error_pct", 0), 0u);
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+}
+
+TEST(ErrorProfile, RejectsBadRanges) {
+  const mult::MitchellMultiplier m{16};
+  EXPECT_THROW((void)err::error_profile(m, 0, 10), std::invalid_argument);
+  EXPECT_THROW((void)err::error_profile(m, 10, 5), std::invalid_argument);
+}
+
+TEST(SegmentErrorMap, RealmSegmentsAverageNearZero) {
+  // Fig. 2's core claim: with per-segment error reduction, the mean relative
+  // error of each segment is (near) zero.
+  const auto realm = mult::make_multiplier("realm:m=4,t=0", 16);
+  const auto stats = err::segment_error_map(*realm, 4, 10, 10);
+  ASSERT_EQ(stats.size(), 16u);
+  for (const auto& s : stats) {
+    EXPECT_GT(s.samples, 0u);
+    EXPECT_NEAR(s.mean_rel_error_pct, 0.0, 0.45)
+        << "segment " << s.i << "," << s.j;
+  }
+}
+
+TEST(SegmentErrorMap, MitchellSegmentsAreAllNegative) {
+  const mult::MitchellMultiplier m{16};
+  const auto stats = err::segment_error_map(m, 4, 10, 10);
+  for (const auto& s : stats) {
+    EXPECT_LT(s.max_rel_error_pct, 1e-9);
+    if (s.i + s.j > 0) {
+      EXPECT_LT(s.mean_rel_error_pct, 0.0);
+    }
+  }
+}
+
+TEST(SegmentErrorMap, SegmentsCsvHeaderAndRows) {
+  const mult::MitchellMultiplier m{16};
+  const auto stats = err::segment_error_map(m, 2, 8, 8);
+  const std::string csv = err::segments_to_csv(stats);
+  EXPECT_EQ(csv.rfind("i,j,", 0), 0u);
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+}
+
+TEST(SegmentErrorMap, RejectsBadArguments) {
+  const mult::MitchellMultiplier m{16};
+  EXPECT_THROW((void)err::segment_error_map(m, 0, 8, 8), std::invalid_argument);
+  EXPECT_THROW((void)err::segment_error_map(m, 4, 0, 8), std::invalid_argument);
+  EXPECT_THROW((void)err::segment_error_map(m, 4, 16, 8), std::invalid_argument);
+}

@@ -1,0 +1,56 @@
+#include "realm/numeric/quadrature.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace num = realm::num;
+
+TEST(Quadrature, PolynomialsAreNearExact) {
+  // Simpson integrates cubics exactly; adaptivity handles higher orders.
+  EXPECT_NEAR(num::integrate([](double x) { return x * x * x; }, 0, 2), 4.0, 1e-12);
+  EXPECT_NEAR(num::integrate([](double x) { return 5 * x * x * x * x; }, -1, 1), 2.0,
+              1e-11);
+}
+
+TEST(Quadrature, TranscendentalReference) {
+  EXPECT_NEAR(num::integrate([](double x) { return std::exp(x); }, 0, 1),
+              std::exp(1.0) - 1.0, 1e-11);
+  EXPECT_NEAR(num::integrate([](double x) { return 1.0 / x; }, 1, 2), std::log(2.0),
+              1e-11);
+}
+
+TEST(Quadrature, EmptyIntervalIsZero) {
+  EXPECT_EQ(num::integrate([](double) { return 42.0; }, 3.0, 3.0), 0.0);
+}
+
+TEST(Quadrature, HandlesDerivativeKink) {
+  // |x - 1/3| over [0,1]: kink off the sample grid.
+  const double c = 1.0 / 3.0;
+  const double exact = (c * c + (1 - c) * (1 - c)) / 2.0;
+  EXPECT_NEAR(num::integrate([&](double x) { return std::fabs(x - c); }, 0, 1), exact,
+              1e-10);
+}
+
+TEST(Quadrature2D, SeparableProduct) {
+  // ∫∫ x·y over [0,1]² = 1/4.
+  EXPECT_NEAR(num::integrate2d([](double x, double y) { return x * y; }, 0, 1, 0, 1),
+              0.25, 1e-9);
+}
+
+TEST(Quadrature2D, NonSeparableReference) {
+  // ∫∫ 1/((1+x)(1+y)) over [0,1]² = ln²2.
+  const double ln2 = std::log(2.0);
+  EXPECT_NEAR(num::integrate2d(
+                  [](double x, double y) { return 1.0 / ((1 + x) * (1 + y)); }, 0, 1,
+                  0, 1),
+              ln2 * ln2, 1e-9);
+}
+
+TEST(Quadrature2D, KinkAlongDiagonal) {
+  // max(0, x+y-1) over [0,1]²: volume of a corner tetrahedron = 1/6.
+  EXPECT_NEAR(num::integrate2d(
+                  [](double x, double y) { return std::max(0.0, x + y - 1.0); }, 0, 1,
+                  0, 1),
+              1.0 / 6.0, 1e-8);
+}

@@ -1,0 +1,67 @@
+#include "realm/error/render.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "realm/multipliers/mitchell.hpp"
+#include "realm/multipliers/registry.hpp"
+
+using namespace realm;
+
+TEST(RenderHeatmap, MidGrayAtZeroErrorExtremesClamped) {
+  std::vector<err::ProfilePoint> pts;
+  // 2×2 grid over {10, 11}².
+  pts.push_back({10, 10, 0.0});
+  pts.push_back({10, 11, 5.0});
+  pts.push_back({11, 10, -5.0});
+  pts.push_back({11, 11, 99.0});  // clamps to +scale
+  const auto img = err::render_profile_heatmap(pts, 5.0);
+  ASSERT_EQ(img.width(), 2);
+  ASSERT_EQ(img.height(), 2);
+  EXPECT_NEAR(img.at(0, 1), 128, 1);  // (10,10): zero -> mid gray, bottom row
+  EXPECT_EQ(img.at(0, 0), 255);       // (10,11): +scale -> white, top row
+  EXPECT_EQ(img.at(1, 1), 0);         // (11,10): -scale -> black
+  EXPECT_EQ(img.at(1, 0), 255);       // clamped
+}
+
+TEST(RenderHeatmap, MitchellSurfaceIsDarkBelowMidGray) {
+  const mult::MitchellMultiplier m{16};
+  const auto pts = err::error_profile(m, 64, 127);
+  const auto img = err::render_profile_heatmap(pts, 11.2);
+  // Mitchell error <= 0 everywhere: no pixel brighter than mid-gray + noise.
+  for (const auto p : img.pixels()) EXPECT_LE(p, 130);
+  // And the x=y=0.5 centre is genuinely dark.
+  double darkest = 255;
+  for (const auto p : img.pixels()) darkest = std::min<double>(darkest, p);
+  EXPECT_LT(darkest, 10);
+}
+
+TEST(RenderHeatmap, RejectsNonSquareProfilesAndBadScale) {
+  std::vector<err::ProfilePoint> pts{{10, 10, 0.0}, {10, 11, 0.0}};
+  EXPECT_THROW((void)err::render_profile_heatmap(pts, 5.0), std::invalid_argument);
+  EXPECT_THROW((void)err::render_profile_heatmap({}, 5.0), std::invalid_argument);
+  std::vector<err::ProfilePoint> one{{10, 10, 0.0}};
+  EXPECT_THROW((void)err::render_profile_heatmap(one, 0.0), std::invalid_argument);
+}
+
+TEST(RenderPpm, WritesAValidP6Header) {
+  const auto m = mult::make_multiplier("realm:m=8,t=0", 16);
+  const auto pts = err::error_profile(*m, 32, 63);
+  const auto path = std::filesystem::temp_directory_path() / "realm_profile.ppm";
+  err::write_profile_ppm(pts, 4.0, path.string());
+  std::ifstream is{path, std::ios::binary};
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  is >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 32);
+  EXPECT_EQ(h, 32);
+  EXPECT_EQ(maxv, 255);
+  is.get();
+  std::vector<char> raster(32 * 32 * 3);
+  is.read(raster.data(), static_cast<std::streamsize>(raster.size()));
+  EXPECT_TRUE(static_cast<bool>(is));
+  std::filesystem::remove(path);
+}

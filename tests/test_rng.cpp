@@ -1,0 +1,59 @@
+#include "realm/numeric/rng.hpp"
+
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace num = realm::num;
+
+TEST(Rng, DeterministicForSeed) {
+  num::Xoshiro256 a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  num::Xoshiro256 a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  num::Xoshiro256 rng{7};
+  for (const std::uint64_t bound : {2ull, 3ull, 17ull, 65536ull, 1000000007ull}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  num::Xoshiro256 rng{11};
+  std::array<int, 8> buckets{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.below(8)];
+  for (const int c : buckets) {
+    EXPECT_NEAR(c, n / 8, 5 * std::sqrt(n / 8.0));  // ~5 sigma
+  }
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  num::Xoshiro256 rng{3};
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = num::splitmix64(s);
+  const std::uint64_t b = num::splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}

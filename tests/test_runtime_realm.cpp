@@ -1,0 +1,89 @@
+#include "realm/core/runtime_realm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "realm/core/realm_multiplier.hpp"
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/simulator.hpp"
+#include "realm/numeric/rng.hpp"
+
+using namespace realm;
+namespace core = realm::core;
+
+namespace {
+
+const std::vector<int> kLevels{0, 3, 6, 8};
+
+core::RuntimeRealmMultiplier make_runtime() {
+  return core::RuntimeRealmMultiplier{16, 8, 6, kLevels};
+}
+
+}  // namespace
+
+TEST(RuntimeRealm, BitExactVersusDesignTimeForSupportedLevels) {
+  // Derivation in the header: for t <= n-2-q the masked full-width datapath
+  // computes exactly what the design-time truncated one does.
+  const auto rt = make_runtime();
+  num::Xoshiro256 rng{1};
+  for (std::size_t level = 0; level < kLevels.size(); ++level) {
+    const core::RealmMultiplier fixed{{.n = 16, .m = 8, .t = kLevels[level], .q = 6}};
+    for (int it = 0; it < 30000; ++it) {
+      const std::uint64_t a = rng.below(65536), b = rng.below(65536);
+      ASSERT_EQ(rt.multiply(a, b, level), fixed.multiply(a, b))
+          << "t=" << kLevels[level] << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(RuntimeRealm, ErrorGrowsMonotonicallyWithTheLevel) {
+  const auto rt = make_runtime();
+  num::Xoshiro256 rng{2};
+  std::vector<double> mean(kLevels.size(), 0.0);
+  const int samples = 200000;
+  for (int it = 0; it < samples; ++it) {
+    const std::uint64_t a = 1 + rng.below(65535), b = 1 + rng.below(65535);
+    const double exact = static_cast<double>(a) * static_cast<double>(b);
+    for (std::size_t level = 0; level < kLevels.size(); ++level) {
+      mean[level] +=
+          std::abs(static_cast<double>(rt.multiply(a, b, level)) - exact) / exact;
+    }
+  }
+  for (std::size_t level = 1; level < kLevels.size(); ++level) {
+    EXPECT_GE(mean[level], mean[level - 1] - 1e-6) << level;
+  }
+}
+
+TEST(RuntimeRealm, Validation) {
+  EXPECT_THROW(core::RuntimeRealmMultiplier(16, 8, 6, {}), std::invalid_argument);
+  EXPECT_THROW(core::RuntimeRealmMultiplier(16, 8, 6, {13}), std::invalid_argument);
+  const auto rt = make_runtime();
+  EXPECT_THROW((void)rt.multiply(1, 1, 99), std::out_of_range);
+  EXPECT_EQ(rt.multiply(0, 123, 0), 0u);
+}
+
+TEST(RuntimeRealmCircuit, MatchesTheBehavioralModelAtEveryLevel) {
+  const auto rt = make_runtime();
+  const hw::Module mod = hw::build_realm_runtime(16, 8, 6, kLevels);
+  ASSERT_EQ(mod.inputs().size(), 3u);  // a, b, mode
+  hw::Simulator sim{mod};
+  num::Xoshiro256 rng{3};
+  for (int it = 0; it < 3000; ++it) {
+    const std::uint64_t a = rng.below(65536), b = rng.below(65536);
+    for (std::size_t level = 0; level < kLevels.size(); ++level) {
+      ASSERT_EQ(sim.run({a, b, level}), rt.multiply(a, b, level))
+          << "level " << level << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(RuntimeRealmCircuit, OneCircuitCostsLessThanTheSumOfFixedOnes) {
+  const hw::Module rt = hw::build_realm_runtime(16, 8, 6, kLevels);
+  double fixed_sum = 0.0;
+  for (const int t : kLevels) {
+    fixed_sum += hw::build_circuit("realm:m=8,t=" + std::to_string(t), 16).area_um2();
+  }
+  EXPECT_LT(rt.area_um2(), 0.5 * fixed_sum);
+  // ... at a modest premium over the single t=0 design.
+  const double t0 = hw::build_circuit("realm:m=8,t=0", 16).area_um2();
+  EXPECT_LT(rt.area_um2(), 1.35 * t0);
+}

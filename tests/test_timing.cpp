@@ -1,0 +1,79 @@
+#include "realm/hw/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/components.hpp"
+
+using namespace realm::hw;
+
+TEST(Timing, SingleGateChain) {
+  Module m{"chain"};
+  const Bus a = m.add_input("a", 1);
+  NetId cur = a[0];
+  for (int i = 0; i < 10; ++i) cur = m.inv(cur);  // strash can't fold an inverter chain? it can: inv(inv(x)) pairs share
+  m.add_output("o", {cur});
+  const auto r = analyze_timing(m);
+  // Strash collapses repeated identical gates: inv(a) is created once, then
+  // inv(inv(a)) once, etc. — the chain survives because each stage has a
+  // distinct input.
+  EXPECT_EQ(r.logic_depth, 10);
+  EXPECT_DOUBLE_EQ(r.critical_path_ps, 10 * cell_spec(GateKind::kInv).delay_ps);
+  EXPECT_EQ(r.path.size(), 10u);
+}
+
+TEST(Timing, ParallelBranchesPickTheLongest) {
+  Module m{"branches"};
+  const Bus a = m.add_input("a", 2);
+  // Short branch: one AND.  Long branch: XOR -> XOR -> XOR.
+  const NetId short_b = m.and2(a[0], a[1]);
+  NetId long_b = m.xor2(a[0], a[1]);
+  long_b = m.xor2(long_b, a[0]);
+  long_b = m.xor2(long_b, a[1]);
+  m.add_output("o", {m.or2(short_b, long_b)});
+  const auto r = analyze_timing(m);
+  EXPECT_EQ(r.logic_depth, 4);  // 3 XOR + final OR
+  EXPECT_DOUBLE_EQ(r.critical_path_ps, 3 * cell_spec(GateKind::kXor2).delay_ps +
+                                           cell_spec(GateKind::kOr2).delay_ps);
+}
+
+TEST(Timing, EmptyModuleHasZeroDelay) {
+  Module m{"wire"};
+  const Bus a = m.add_input("a", 4);
+  m.add_output("o", a);
+  const auto r = analyze_timing(m);
+  EXPECT_EQ(r.logic_depth, 0);
+  EXPECT_DOUBLE_EQ(r.critical_path_ps, 0.0);
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(Timing, RippleAdderDepthGrowsLinearly) {
+  const auto depth_of = [](int width) {
+    Module m{"add"};
+    const Bus a = m.add_input("a", width);
+    const Bus b = m.add_input("b", width);
+    auto r = ripple_add(m, a, b);
+    Bus out = r.sum;
+    out.push_back(r.carry);
+    m.add_output("o", out);
+    return analyze_timing(m).logic_depth;
+  };
+  EXPECT_GT(depth_of(16), depth_of(8));
+  EXPECT_GT(depth_of(8), depth_of(4));
+}
+
+TEST(Timing, DesignDelaysAreInPlausible45nmRange) {
+  for (const char* spec : {"accurate", "calm", "realm:m=16,t=0", "drum:k=6"}) {
+    const Module mod = build_circuit(spec, 16);
+    const auto r = analyze_timing(mod);
+    EXPECT_GT(r.critical_path_ps, 200.0) << spec;   // > a handful of gates
+    EXPECT_LT(r.critical_path_ps, 4000.0) << spec;  // < absurd
+    EXPECT_EQ(r.path.size(), static_cast<std::size_t>(r.logic_depth)) << spec;
+  }
+}
+
+TEST(Timing, TruncationShortensTheRealmPath) {
+  const auto t0 = analyze_timing(build_circuit("realm:m=8,t=0", 16));
+  const auto t9 = analyze_timing(build_circuit("realm:m=8,t=9", 16));
+  EXPECT_LT(t9.critical_path_ps, t0.critical_path_ps);
+}

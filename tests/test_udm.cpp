@@ -1,0 +1,131 @@
+#include "realm/multipliers/udm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "realm/error/monte_carlo.hpp"
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/simulator.hpp"
+#include "realm/multipliers/registry.hpp"
+#include "realm/numeric/rng.hpp"
+
+using namespace realm;
+
+TEST(Udm, BlockLevelTruthTable) {
+  const mult::UdmMultiplier m{2};
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      const std::uint64_t expect = (a == 3 && b == 3) ? 7 : a * b;
+      EXPECT_EQ(m.multiply(a, b), expect) << a << "x" << b;
+    }
+  }
+}
+
+TEST(Udm, NeverOverestimatesAndKnownWorstCase) {
+  // Every approximation replaces 9 by 7, so UDM only underestimates; the
+  // published worst case is all-3s operands.
+  const mult::UdmMultiplier m{8};
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      ASSERT_LE(m.multiply(a, b), a * b);
+    }
+  }
+  // 0xFF × 0xFF exercises every block's 3×3 case.
+  EXPECT_LT(m.multiply(0xFF, 0xFF), 0xFFull * 0xFF);
+}
+
+TEST(Udm, ExactWheneverNoBlockSeesThreeTimesThree) {
+  const mult::UdmMultiplier m{16};
+  // Operands with every 2-bit digit < 3 in at least one operand per level
+  // are exact; powers of two trivially so.
+  num::Xoshiro256 rng{1};
+  for (int k = 0; k < 16; ++k) {
+    for (int l = 0; l < 16; ++l) {
+      EXPECT_EQ(m.multiply(1ull << k, 1ull << l), 1ull << (k + l));
+    }
+  }
+}
+
+TEST(Udm, ErrorMetricsInKnownBallpark) {
+  // One-sided negative; at 16 bits the recursion stacks three block levels,
+  // so the mean error lands near 3.3 % with a worst case around -22 %
+  // (every block in the 0xFFFF×0xFFFF decomposition hits its 3×3 case).
+  const auto m = mult::make_multiplier("udm", 16);
+  err::MonteCarloOptions opts;
+  opts.samples = 1 << 20;
+  const auto r = err::monte_carlo(*m, opts);
+  EXPECT_LT(r.bias, 0.0);
+  EXPECT_NEAR(r.mean, 3.3, 0.3);
+  EXPECT_GT(r.min, -25.0);
+  EXPECT_LT(r.min, -18.0);
+  EXPECT_DOUBLE_EQ(r.max, 0.0);
+}
+
+TEST(Udm, RejectsNonPowerOfTwoWidths) {
+  EXPECT_THROW(mult::UdmMultiplier{12}, std::invalid_argument);
+  EXPECT_THROW(mult::UdmMultiplier{1}, std::invalid_argument);
+}
+
+TEST(UdmCircuit, MatchesBehavioralModel) {
+  for (const int n : {4, 8, 16}) {
+    const mult::UdmMultiplier model{n};
+    hw::Module mod = hw::build_circuit("udm", n);
+    hw::Simulator sim{mod};
+    num::Xoshiro256 rng{static_cast<std::uint64_t>(n)};
+    for (int it = 0; it < 3000; ++it) {
+      const std::uint64_t a = rng.below(1ull << n), b = rng.below(1ull << n);
+      ASSERT_EQ(sim.run({a, b}), model.multiply(a, b)) << n << ": " << a << "," << b;
+    }
+  }
+}
+
+TEST(Truncated, ExactWhenNothingDropped) {
+  const mult::TruncatedMultiplier m{16, 0};
+  num::Xoshiro256 rng{2};
+  for (int it = 0; it < 20000; ++it) {
+    const std::uint64_t a = rng.below(65536), b = rng.below(65536);
+    ASSERT_EQ(m.multiply(a, b), a * b);
+  }
+}
+
+TEST(Truncated, CorrectionCentersTheError) {
+  const auto m = mult::make_multiplier("trunc:drop=12", 16);
+  err::MonteCarloOptions opts;
+  opts.samples = 1 << 20;
+  const auto r = err::monte_carlo(*m, opts);
+  EXPECT_LT(std::abs(r.bias), 0.05);   // the constant kills the bias
+  EXPECT_LT(r.mean, 0.2);              // dropping 12 of 32 columns is cheap
+}
+
+TEST(Truncated, MoreDroppedColumnsMoreError) {
+  err::MonteCarloOptions opts;
+  opts.samples = 1 << 18;
+  double prev = 0.0;
+  for (const int drop : {8, 12, 16, 20}) {
+    const auto m = mult::make_multiplier("trunc:drop=" + std::to_string(drop), 16);
+    const auto r = err::monte_carlo(*m, opts);
+    EXPECT_GT(r.mean, prev) << drop;
+    prev = r.mean;
+  }
+}
+
+TEST(TruncatedCircuit, MatchesBehavioralModel) {
+  for (const int drop : {0, 8, 16}) {
+    const std::string spec = "trunc:drop=" + std::to_string(drop);
+    const auto model = mult::make_multiplier(spec, 16);
+    hw::Module mod = hw::build_circuit(spec, 16);
+    hw::Simulator sim{mod};
+    num::Xoshiro256 rng{static_cast<std::uint64_t>(drop)};
+    for (int it = 0; it < 3000; ++it) {
+      const std::uint64_t a = rng.below(65536), b = rng.below(65536);
+      ASSERT_EQ(sim.run({a, b}), model->multiply(a, b)) << spec;
+    }
+  }
+}
+
+TEST(TruncatedCircuit, DroppingColumnsShrinksArea) {
+  const double full = hw::build_circuit("trunc:drop=0", 16).area_um2();
+  const double d12 = hw::build_circuit("trunc:drop=12", 16).area_um2();
+  const double d20 = hw::build_circuit("trunc:drop=20", 16).area_um2();
+  EXPECT_LT(d12, full);
+  EXPECT_LT(d20, d12);
+}

@@ -1,0 +1,97 @@
+#include "realm/hw/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "realm/hw/circuits.hpp"
+
+using namespace realm::hw;
+
+TEST(Verilog, EmitsModuleWithPortsAndInstances) {
+  const Module m = build_circuit("calm", 16);
+  const std::string v = to_verilog(m);
+  EXPECT_NE(v.find("module calm16"), std::string::npos);
+  EXPECT_NE(v.find("input [15:0] a"), std::string::npos);
+  EXPECT_NE(v.find("input [15:0] b"), std::string::npos);
+  EXPECT_NE(v.find("output [31:0] p"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // One instance per gate.
+  std::size_t instances = 0;
+  for (std::size_t pos = v.find("_X1 g"); pos != std::string::npos;
+       pos = v.find("_X1 g", pos + 1)) {
+    ++instances;
+  }
+  EXPECT_EQ(instances, m.gates().size());
+}
+
+TEST(Verilog, ConstantsUseLiteralSyntax) {
+  Module m{"tiny"};
+  const Bus a = m.add_input("a", 1);
+  m.add_output("o", {m.and2(a[0], a[0]), kConst0, kConst1});
+  const std::string v = to_verilog(m);
+  EXPECT_NE(v.find("assign o[1] = 1'b0;"), std::string::npos);
+  EXPECT_NE(v.find("assign o[2] = 1'b1;"), std::string::npos);
+}
+
+TEST(Verilog, MuxInstanceNamesItsSelectPin) {
+  Module m{"muxy"};
+  const Bus a = m.add_input("a", 3);
+  m.add_output("o", {m.mux(a[2], a[0], a[1])});
+  const std::string v = to_verilog(m);
+  EXPECT_NE(v.find("MUX2_X1"), std::string::npos);
+  EXPECT_NE(v.find(".S("), std::string::npos);
+}
+
+TEST(Verilog, CellModelsCoverEveryEmittableCell) {
+  const std::string models = verilog_cell_models();
+  for (const auto& spec : cell_specs()) {
+    EXPECT_NE(models.find(std::string{"module "} + std::string{spec.name}),
+              std::string::npos)
+        << spec.name;
+  }
+}
+
+TEST(VerilogTestbench, EmbedsVectorsAndExpectedOutputs) {
+  const Module m = build_circuit("drum:k=4", 8);
+  const std::string tb = to_verilog_testbench(m, 16, 42);
+  EXPECT_NE(tb.find("module tb_" + m.name()), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  EXPECT_NE(tb.find("$fatal"), std::string::npos);
+  // 16 vectors -> 16 check() calls.
+  std::size_t checks = 0;
+  for (std::size_t pos = tb.find("check(64'd"); pos != std::string::npos;
+       pos = tb.find("check(64'd", pos + 1)) {
+    ++checks;
+  }
+  EXPECT_EQ(checks, 16u);
+}
+
+TEST(VerilogTestbench, DeterministicPerSeed) {
+  const Module m = build_circuit("calm", 8);
+  EXPECT_EQ(to_verilog_testbench(m, 8, 7), to_verilog_testbench(m, 8, 7));
+  EXPECT_NE(to_verilog_testbench(m, 8, 7), to_verilog_testbench(m, 8, 8));
+}
+
+TEST(VerilogTestbench, RejectsZeroVectors) {
+  const Module m = build_circuit("calm", 8);
+  EXPECT_THROW((void)to_verilog_testbench(m, 0), std::invalid_argument);
+}
+
+TEST(Verilog, EveryGateKindRoundTripsThroughTheEmitter) {
+  Module m{"allgates"};
+  const Bus a = m.add_input("a", 3);
+  Bus outs;
+  outs.push_back(m.gate(GateKind::kInv, a[0]));
+  outs.push_back(m.gate(GateKind::kBuf, a[0]));
+  outs.push_back(m.gate(GateKind::kAnd2, a[0], a[1]));
+  outs.push_back(m.gate(GateKind::kOr2, a[0], a[1]));
+  outs.push_back(m.gate(GateKind::kNand2, a[0], a[1]));
+  outs.push_back(m.gate(GateKind::kNor2, a[0], a[1]));
+  outs.push_back(m.gate(GateKind::kXor2, a[0], a[1]));
+  outs.push_back(m.gate(GateKind::kXnor2, a[0], a[1]));
+  outs.push_back(m.gate(GateKind::kMux2, a[0], a[1], a[2]));
+  m.add_output("o", outs);
+  const std::string v = to_verilog(m);
+  for (const auto& spec : cell_specs()) {
+    EXPECT_NE(v.find(std::string{spec.name}), std::string::npos) << spec.name;
+  }
+}

@@ -1,0 +1,193 @@
+// realm_cli — one command-line front end for the whole library.
+//
+//   realm_cli characterize <spec> [samples]     error metrics (Monte-Carlo)
+//   realm_cli predict <M> [q]                   analytic error prediction
+//   realm_cli synth <spec> [n]                  gates/area/power/delay report
+//   realm_cli verilog <spec> <out.v>            structural Verilog + TB
+//   realm_cli sij <M> [q]                       error-reduction factor table
+//   realm_cli profile <spec> <out.ppm>          Fig.1-style error heat map
+//   realm_cli jpeg <spec> [in.pgm]              JPEG PSNR evaluation
+//   realm_cli divide <a> <b> [M]                approximate division demo
+//   realm_cli list                              all Table I design specs
+//   realm_cli recommend [max_mean%] [max_peak%] cheapest design in budget
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "realm/core/divider.hpp"
+#include "realm/core/error_analysis.hpp"
+#include "realm/error/render.hpp"
+#include "realm/realm.hpp"
+
+using namespace realm;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: realm_cli <characterize|predict|synth|verilog|sij|profile|"
+               "jpeg|divide|list> [args]\n");
+  return 2;
+}
+
+int cmd_characterize(int argc, char** argv) {
+  const std::string spec = argc > 2 ? argv[2] : "realm:m=16,t=0";
+  const auto model = mult::make_multiplier(spec, 16);
+  err::MonteCarloOptions opts;
+  opts.samples = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : (1ull << 22);
+  const auto r = err::monte_carlo(*model, opts);
+  std::printf("%s\n%s\n", model->name().c_str(), r.summary().c_str());
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  const int m = argc > 2 ? std::atoi(argv[2]) : 16;
+  const int q = argc > 3 ? std::atoi(argv[3]) : 6;
+  const core::SegmentLut lut{m, q};
+  const auto p = core::predict_realm_errors(lut);
+  std::printf("REALM%d (q=%d), analytic prediction at t=0:\n", m, q);
+  std::printf("  bias %+0.3f%%  mean %.3f%%  min %+0.3f%%  max %+0.3f%%  var %.3f\n",
+              p.bias_pct, p.mean_pct, p.min_pct, p.max_pct, p.variance);
+  return 0;
+}
+
+int cmd_synth(int argc, char** argv) {
+  const std::string spec = argc > 2 ? argv[2] : "realm:m=16,t=0";
+  const int n = argc > 3 ? std::atoi(argv[3]) : 16;
+  const hw::Module mod = hw::build_circuit(spec, n);
+  const auto timing = hw::analyze_timing(mod);
+  hw::StimulusProfile prof;
+  prof.cycles = 800;
+  hw::CostModel cm{n, prof};
+  std::printf("design:       %s (N=%d)\n", spec.c_str(), n);
+  std::printf("gates:        %zu\n", mod.gates().size());
+  std::printf("area:         %.1f um^2 (%.1f%% reduction vs accurate)\n",
+              cm.cost(spec).area_um2, cm.area_reduction_pct(spec));
+  std::printf("power:        %.1f uW (%.1f%% reduction vs accurate)\n",
+              cm.cost(spec).power_uw, cm.power_reduction_pct(spec));
+  std::printf("critical path: %.0f ps (%d logic levels)\n", timing.critical_path_ps,
+              timing.logic_depth);
+  return 0;
+}
+
+int cmd_verilog(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const hw::Module mod = hw::build_circuit(argv[2], 16);
+  std::ofstream os{argv[3]};
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s\n", argv[3]);
+    return 1;
+  }
+  os << hw::verilog_cell_models() << hw::to_verilog(mod)
+     << hw::to_verilog_testbench(mod, 64);
+  std::printf("wrote %s (cells + netlist + self-checking testbench)\n", argv[3]);
+  return 0;
+}
+
+int cmd_sij(int argc, char** argv) {
+  const int m = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int q = argc > 3 ? std::atoi(argv[3]) : 6;
+  const core::SegmentLut lut{m, q};
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) std::printf(" %8.6f", lut.exact(i, j));
+    std::printf("\n");
+  }
+  std::printf("(quantized to q=%d: %d stored bits/entry, max error %.6f)\n", q,
+              lut.stored_bits(), lut.max_quantization_error());
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto model = mult::make_multiplier(argv[2], 16);
+  const auto pts = err::error_profile(*model, 32, 255);
+  err::write_profile_ppm(pts, 12.0, argv[3]);
+  std::printf("wrote %s (224x224, +-12%% diverging colormap)\n", argv[3]);
+  return 0;
+}
+
+int cmd_jpeg(int argc, char** argv) {
+  const std::string spec = argc > 2 ? argv[2] : "realm:m=16,t=8";
+  const jpeg::Image img =
+      argc > 3 ? jpeg::read_pgm(argv[3]) : jpeg::synthetic_cameraman(512);
+  const auto model = mult::make_multiplier(spec, 16);
+  jpeg::CodecOptions opts;
+  opts.umul = model->as_function();
+  const auto c = jpeg::encode(img, opts);
+  const auto rec = jpeg::decode(c, opts);
+  std::printf("%s: PSNR %.2f dB, %zu bytes\n", model->name().c_str(),
+              jpeg::psnr(img, rec), c.size_bytes());
+  return 0;
+}
+
+int cmd_divide(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto a = std::strtoull(argv[2], nullptr, 10);
+  const auto b = std::strtoull(argv[3], nullptr, 10);
+  const int m = argc > 4 ? std::atoi(argv[4]) : 8;
+  const core::MitchellDivider mitchell{16};
+  const core::RealmDivider rdiv{{.n = 16, .m = m, .q = 6}};
+  const double exact = b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+  std::printf("exact:    %.4f\nMitchell: %llu\n%s: %llu\n", exact,
+              static_cast<unsigned long long>(mitchell.divide(a, b)),
+              rdiv.name().c_str(),
+              static_cast<unsigned long long>(rdiv.divide(a, b)));
+  return 0;
+}
+
+int cmd_list() {
+  for (const auto& spec : mult::table1_specs()) std::printf("%s\n", spec.c_str());
+  return 0;
+}
+
+int cmd_recommend(int argc, char** argv) {
+  dse::ErrorBudget budget;
+  if (argc > 2) budget.max_mean_pct = std::atof(argv[2]);
+  if (argc > 3) budget.max_peak_pct = std::atof(argv[3]);
+  std::printf("sweeping the Table I design space (budget: mean<=%.2f%%, peak<=%.2f%%)...\n",
+              budget.max_mean_pct, budget.max_peak_pct);
+  dse::SweepOptions opts;
+  opts.monte_carlo.samples = 1 << 19;
+  opts.stimulus.cycles = 400;
+  const auto points = dse::run_sweep(mult::table1_specs(), opts);
+  for (const auto axis : {dse::CostAxis::kAreaReduction, dse::CostAxis::kPowerReduction}) {
+    const auto best = dse::best_under_budget(points, budget, axis);
+    const char* label = axis == dse::CostAxis::kAreaReduction ? "area" : "power";
+    if (!best) {
+      std::printf("best by %s: no design meets the budget\n", label);
+      continue;
+    }
+    const auto& p = points[*best];
+    std::printf("best by %s: %-20s (%s-red %.1f%%, mean %.2f%%, peak %.2f%%)\n", label,
+                p.name.c_str(), label,
+                axis == dse::CostAxis::kAreaReduction ? p.area_reduction_pct
+                                                      : p.power_reduction_pct,
+                p.error.mean, p.error.peak());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "characterize") return cmd_characterize(argc, argv);
+    if (cmd == "predict") return cmd_predict(argc, argv);
+    if (cmd == "synth") return cmd_synth(argc, argv);
+    if (cmd == "verilog") return cmd_verilog(argc, argv);
+    if (cmd == "sij") return cmd_sij(argc, argv);
+    if (cmd == "profile") return cmd_profile(argc, argv);
+    if (cmd == "jpeg") return cmd_jpeg(argc, argv);
+    if (cmd == "divide") return cmd_divide(argc, argv);
+    if (cmd == "list") return cmd_list();
+    if (cmd == "recommend") return cmd_recommend(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
