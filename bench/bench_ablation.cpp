@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
   err::MonteCarloOptions mco;
   mco.samples = args.samples / 4;
+  mco.threads = args.threads;
 
   std::printf("(a) LUT quantization sweep, REALM8 t=0\n");
   std::printf("%6s %12s %10s %10s %10s\n", "q", "LUT bits", "bias %", "mean %", "peak %");

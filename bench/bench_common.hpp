@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -11,13 +12,30 @@
 
 namespace realm::bench {
 
-/// --samples=N / --cycles=N / --quick style flag parsing; unknown flags are
-/// fatal so typos do not silently run the default experiment.
+/// --samples=N / --cycles=N / --threads=N / --quick style flag parsing;
+/// unknown flags and malformed numbers are fatal so typos do not silently
+/// run the default experiment.
 struct Args {
   std::uint64_t samples = std::uint64_t{1} << 22;  ///< Monte-Carlo pairs
   std::uint32_t cycles = 1000;                     ///< power stimulus vectors
   int image_size = 512;                            ///< JPEG evaluation images
+  int threads = 0;  ///< Monte-Carlo parallelism; 0 = hardware concurrency
   bool full = false;  ///< use the paper's full 2^24 sample budget
+
+  /// Strict decimal parse: the whole value must be digits (strtoull's
+  /// default of accepting "12abc" as 12 — or "abc" as 0 — hid typos).
+  static std::uint64_t parse_u64(const char* flag, const char* s) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (s[0] == '\0' || end == nullptr || *end != '\0' || errno == ERANGE ||
+        s[0] == '-') {
+      std::fprintf(stderr, "bad value for %s: '%s' (expected a decimal integer)\n",
+                   flag, s);
+      std::exit(2);
+    }
+    return v;
+  }
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -27,17 +45,20 @@ struct Args {
         return arg.c_str() + std::strlen(prefix);
       };
       if (arg.rfind("--samples=", 0) == 0) {
-        a.samples = std::strtoull(val("--samples="), nullptr, 10);
+        a.samples = parse_u64("--samples", val("--samples="));
       } else if (arg.rfind("--cycles=", 0) == 0) {
-        a.cycles = static_cast<std::uint32_t>(std::strtoul(val("--cycles="), nullptr, 10));
+        a.cycles = static_cast<std::uint32_t>(parse_u64("--cycles", val("--cycles=")));
       } else if (arg.rfind("--image-size=", 0) == 0) {
-        a.image_size = std::atoi(val("--image-size="));
+        a.image_size =
+            static_cast<int>(parse_u64("--image-size", val("--image-size=")));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        a.threads = static_cast<int>(parse_u64("--threads", val("--threads=")));
       } else if (arg == "--full") {
         a.full = true;
         a.samples = std::uint64_t{1} << 24;  // the paper's budget
         a.cycles = 4000;
       } else if (arg == "--help") {
-        std::printf("flags: --samples=N --cycles=N --image-size=N --full\n");
+        std::printf("flags: --samples=N --cycles=N --image-size=N --threads=N --full\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   bench::Args args = bench::Args::parse(argc, argv);
   dse::SweepOptions opts;
   opts.monte_carlo.samples = args.samples / 4;  // 65 designs; keep the run brisk
+  opts.monte_carlo.threads = args.threads;
   opts.stimulus.cycles = args.cycles;
   opts.verbose = false;
 

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
   err::MonteCarloOptions opts;
   opts.samples = args.samples / 4;
+  opts.threads = args.threads;
 
   std::filesystem::create_directories("bench_out/fig5");
   std::printf("Fig. 5 — REALM relative-error distributions (%llu samples each)\n",

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
   err::MonteCarloOptions mco;
   mco.samples = args.samples / 8;
+  mco.threads = args.threads;
 
   std::printf("Operand-width sweep\n");
   std::printf("%-8s %-18s %9s %9s %9s %12s %12s %10s\n", "width", "design", "bias %",

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "realm/core/segment_factors.hpp"
@@ -28,6 +29,16 @@ class SegmentLut {
   /// M must be a power of two >= 2 (its log2 selects fraction MSBs); q must
   /// be >= 3.  Throws std::invalid_argument otherwise.
   SegmentLut(int m, int q, Formulation f = Formulation::kMeanRelativeError);
+
+  /// Process-wide cache of derived tables, keyed by (m, q, formulation).
+  /// Deriving the factors integrates Eq. 11 (dilogarithms + adaptive
+  /// quadrature cross-checks), which is far more expensive than the table
+  /// itself — design-space sweeps construct the same handful of tables
+  /// hundreds of times, so identical configurations share one immutable
+  /// instance.  Entries are held weakly: once every user releases a table it
+  /// is freed, and the next request re-derives it.  Thread-safe.
+  [[nodiscard]] static std::shared_ptr<const SegmentLut> shared(
+      int m, int q, Formulation f = Formulation::kMeanRelativeError);
 
   [[nodiscard]] int m() const noexcept { return m_; }
   [[nodiscard]] int q() const noexcept { return q_; }

@@ -16,6 +16,12 @@ class Histogram {
 
   void add(double v) noexcept;
 
+  /// Adds another histogram's counts into this one.  Both must have the same
+  /// range and bin count (throws std::invalid_argument otherwise).  Used to
+  /// combine per-shard private histograms after a parallel run; counts are
+  /// integers, so the merge is exact and order-independent.
+  void merge(const Histogram& other);
+
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] int bins() const noexcept { return static_cast<int>(counts_.size()); }

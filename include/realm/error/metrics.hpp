@@ -47,6 +47,15 @@ class ErrorAccumulator {
   /// Merge another accumulator (for sharded Monte-Carlo runs).
   void merge(const ErrorAccumulator& other) noexcept;
 
+  /// Builds an accumulator from the raw moments of a batch of errors:
+  /// count, mean, Σ(e-mean)², Σ|e|, min and max.  The batched evaluation
+  /// engine reduces each operand block to these five numbers with
+  /// vector-friendly loops and then folds blocks together through the
+  /// numerically stable merge() — Welford per sample is exact but serial.
+  [[nodiscard]] static ErrorAccumulator from_moments(std::uint64_t n, double mean,
+                                                     double m2, double abs_sum,
+                                                     double min, double max) noexcept;
+
   [[nodiscard]] ErrorMetrics metrics() const noexcept;
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
 

@@ -4,6 +4,12 @@
 // uniformly from {0, ..., 2^16-1} (§IV-B).  For widths up to ~10 bits the
 // full input cross-product is cheaper than sampling, so an exhaustive engine
 // is provided as well (and used by the tests to pin down exact peak errors).
+//
+// All engines run on the batched evaluation core (eval_engine.hpp): operands
+// are generated in blocks and fed through Multiplier::multiply_batch, shards
+// execute on the persistent process-wide thread pool, and the shard grid
+// depends only on the workload — so every result is bit-identical for any
+// thread count (the seed-stability invariant).
 
 #pragma once
 
@@ -19,25 +25,32 @@ namespace realm::err {
 struct MonteCarloOptions {
   std::uint64_t samples = std::uint64_t{1} << 24;  ///< paper default
   std::uint64_t seed = 0x5eed5eed5eed5eedULL;
-  int threads = 0;  ///< 0 = hardware concurrency
+  int threads = 0;  ///< parallelism cap; 0 = hardware concurrency.  Never
+                    ///< affects results, only how many pool workers run.
 };
 
 /// Uniform-input Monte-Carlo characterization of `design` against the exact
-/// product.  Deterministic for a fixed (samples, seed, threads=any): each
-/// shard derives its own seed, and shards are merged in index order.
+/// product.  Bit-identical for a fixed (samples, seed) at *any* thread
+/// count: shards are a function of the sample budget alone, each derives its
+/// own splitmix64 seed, and shards merge in index order.
 [[nodiscard]] ErrorMetrics monte_carlo(const Multiplier& design,
                                        const MonteCarloOptions& opts = {});
 
-/// Same run, but also fills `hist` (if non-null) with the relative errors
-/// in percent.  Single-threaded variant used by the distribution bench.
+/// Same shard runner as monte_carlo (identical metrics for identical
+/// options), additionally filling `hist` (if non-null) with the relative
+/// errors in percent.  Runs parallel with per-shard private histograms
+/// merged in shard order.
 [[nodiscard]] ErrorMetrics monte_carlo_histogram(const Multiplier& design,
                                                  Histogram* hist,
                                                  const MonteCarloOptions& opts = {});
 
 /// Exhaustive sweep over all (a, b) pairs with a, b in [lo, hi] (defaults to
-/// the full width() range).  Cost is (hi-lo+1)² multiplies.
+/// the full width() range).  Cost is (hi-lo+1)² multiplies, batched and
+/// parallelized by row ranges (threads: 0 = hardware concurrency);
+/// deterministic for any thread count.
 [[nodiscard]] ErrorMetrics exhaustive(const Multiplier& design,
                                       std::optional<std::uint64_t> lo = {},
-                                      std::optional<std::uint64_t> hi = {});
+                                      std::optional<std::uint64_t> hi = {},
+                                      int threads = 0);
 
 }  // namespace realm::err

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -28,6 +29,20 @@ class Multiplier {
   /// assert in debug builds.
   [[nodiscard]] virtual std::uint64_t multiply(std::uint64_t a,
                                                std::uint64_t b) const = 0;
+
+  /// Element-wise product of two operand vectors: out[i] = multiply(a[i],
+  /// b[i]) for i in [0, n).  The result must be bit-identical to n scalar
+  /// multiply() calls — the error harness relies on that equivalence.
+  ///
+  /// The base implementation is a plain loop over the virtual multiply();
+  /// hot designs (REALM, Mitchell, the exact reference) override it with a
+  /// devirtualized kernel that hoists configuration-dependent constants out
+  /// of the loop, which is what makes the 2^24-sample Monte-Carlo
+  /// characterization runs cheap.  `out` may alias neither `a` nor `b`.
+  virtual void multiply_batch(const std::uint64_t* a, const std::uint64_t* b,
+                              std::uint64_t* out, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = multiply(a[i], b[i]);
+  }
 
   /// Human-readable design name including its configuration,
   /// e.g. "REALM16 (t=4)" or "DRUM (k=6)".

@@ -13,6 +13,8 @@ class AccurateMultiplier final : public Multiplier {
   explicit AccurateMultiplier(int n = 16);
 
   [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
+  void multiply_batch(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* out, std::size_t n) const override;
   [[nodiscard]] std::string name() const override { return "Accurate"; }
   [[nodiscard]] int width() const override { return n_; }
 

@@ -40,4 +40,25 @@ class Xoshiro256 {
 /// splitmix64 step — also useful on its own for hashing test-case IDs.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// The golden-ratio increment splitmix64 advances its state by.
+inline constexpr std::uint64_t kSplitmix64Gamma = 0x9e3779b97f4a7c15ULL;
+
+/// splitmix64's output finalizer — a strong 64-bit mixer in its own right.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The i-th draw (0-based) of the splitmix64 sequence seeded at `seed`,
+/// computed directly: the sequential state before the i-th mix is
+/// seed + (i+1)·gamma, so any draw is a pure function of (seed, i).  This
+/// counter form produces exactly the stream of repeated splitmix64() calls
+/// but with no loop-carried dependency, which lets the evaluation engine
+/// generate operand blocks in vectorizable loops.
+[[nodiscard]] constexpr std::uint64_t splitmix64_at(std::uint64_t seed,
+                                                   std::uint64_t i) noexcept {
+  return splitmix64_mix(seed + (i + 1) * kSplitmix64Gamma);
+}
+
 }  // namespace realm::num

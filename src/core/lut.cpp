@@ -2,11 +2,32 @@
 
 #include <bit>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
 
 #include "realm/numeric/bits.hpp"
 
 namespace realm::core {
+
+std::shared_ptr<const SegmentLut> SegmentLut::shared(int m, int q, Formulation f) {
+  using Key = std::tuple<int, int, int>;
+  static std::mutex mu;
+  static std::map<Key, std::weak_ptr<const SegmentLut>> cache;
+
+  const Key key{m, q, static_cast<int>(f)};
+  std::lock_guard lock{mu};
+  const auto it = cache.find(key);
+  if (it != cache.end()) {
+    if (auto live = it->second.lock()) return live;
+  }
+  // Construct outside the map so a throwing constructor (invalid m/q) leaves
+  // the cache untouched.
+  auto fresh = std::make_shared<const SegmentLut>(m, q, f);
+  cache[key] = fresh;
+  return fresh;
+}
 
 SegmentLut::SegmentLut(int m, int q, Formulation f)
     : m_{m}, q_{q}, log2m_{0}, formulation_{f} {

@@ -1,11 +1,77 @@
 #include "realm/core/realm_multiplier.hpp"
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
 #include "realm/numeric/bits.hpp"
+#include "realm/numeric/simd.hpp"
 
 namespace realm::core {
+namespace {
+
+// Configuration constants hoisted out of the batch loop, so the per-element
+// body is pure straight-line integer arithmetic.  Everything per-element is
+// kept in 64-bit lanes (no int/uint64 mixing) — the vectorizer needs shift
+// amounts and values in the same lane width.
+struct RealmKernelParams {
+  std::uint64_t w;          // full fraction width out of the shifters (n - 1)
+  std::uint64_t t;          // truncated LSBs
+  std::uint64_t f;          // kept fraction width
+  std::uint64_t sel_shift;  // fraction -> segment-select shift
+  std::uint64_t sel;        // log2(M) — LUT row stride (M is a power of two)
+  const std::uint64_t* lut;  // pre-aligned c_of = 0 values (see batch_lut_)
+  std::uint64_t fmask;
+  std::uint64_t one_f;  // 1 << f
+  std::uint64_t one_w;  // 1 << w
+};
+
+// Same datapath as RealmMultiplier::multiply(), restructured branchless so
+// the loop has no data-dependent control flow and auto-vectorizes
+// (leading_one -> vplzcntq, shifts -> vpsllvq/vpsrlvq, selects -> blends on
+// the AVX-512 clone): zeros run through the datapath as if they were 1 and
+// the result is blended to 0 at the end, and the normalize step uses
+// (av << (w - ka)) ^ (1 << w) — the leading one always lands on bit w, so
+// the clearing mask is loop-invariant instead of the variable 1 << ka.
+REALM_MULTIVERSION
+void realm_batch_kernel(const std::uint64_t* __restrict a,
+                        const std::uint64_t* __restrict b,
+                        std::uint64_t* __restrict out, std::size_t n,
+                        RealmKernelParams kp) {
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const std::uint64_t a0 = a[idx];
+    const std::uint64_t b0 = b[idx];
+    const std::uint64_t av = a0 | static_cast<std::uint64_t>(a0 == 0);
+    const std::uint64_t bv = b0 | static_cast<std::uint64_t>(b0 == 0);
+    const auto ka = 63u - static_cast<std::uint64_t>(std::countl_zero(av));
+    const auto kb = 63u - static_cast<std::uint64_t>(std::countl_zero(bv));
+    const std::uint64_t xf = (((av << (kp.w - ka)) ^ kp.one_w) >> kp.t) | 1u;
+    const std::uint64_t yf = (((bv << (kp.w - kb)) ^ kp.one_w) >> kp.t) | 1u;
+
+    const std::uint64_t fsum = xf + yf;
+    const std::uint64_t c_of = fsum >> kp.f;
+    const std::uint64_t frac = fsum & kp.fmask;
+
+    // The table holds the aligned c_of = 0 value; the c_of = 1 value is
+    // exactly one bit lower (Eq. 13's s_ij vs s_ij >> 1 after alignment).
+    const std::uint64_t s_aligned =
+        kp.lut[((xf >> kp.sel_shift) << kp.sel) | (yf >> kp.sel_shift)] >> c_of;
+
+    const std::uint64_t significand = kp.one_f + frac + s_aligned;
+    // Final barrel shift, with both directions unconditionally computed at
+    // masked (always in-range) amounts so the select is speculation-safe and
+    // if-converts to a blend.  |d| <= 61 < 64, so the masking never changes
+    // the selected value.
+    const auto d = static_cast<std::int64_t>(ka + kb + c_of) -
+                   static_cast<std::int64_t>(kp.f);
+    const std::uint64_t shl = significand << (static_cast<std::uint64_t>(d) & 63u);
+    const std::uint64_t shr = significand >> (static_cast<std::uint64_t>(-d) & 63u);
+    const std::uint64_t val = (d >= 0) ? shl : shr;
+    out[idx] = ((a0 != 0) & (b0 != 0)) ? val : 0;
+  }
+}
+
+}  // namespace
 
 RealmMultiplier::RealmMultiplier(RealmConfig cfg) : cfg_{cfg} {
   // N is capped at 31 so the widest product (2N+1 bits, special case 1)
@@ -14,11 +80,23 @@ RealmMultiplier::RealmMultiplier(RealmConfig cfg) : cfg_{cfg} {
     throw std::invalid_argument("RealmMultiplier: N must be in [2, 31]");
   }
   if (cfg_.t < 0) throw std::invalid_argument("RealmMultiplier: t must be >= 0");
-  lut_ = std::make_shared<const SegmentLut>(cfg_.m, cfg_.q, cfg_.formulation);
+  lut_ = SegmentLut::shared(cfg_.m, cfg_.q, cfg_.formulation);
   // The kept fraction must still contain the log2(M) segment-select MSBs.
   if (cfg_.fraction_bits() < lut_->select_bits()) {
     throw std::invalid_argument(
         "RealmMultiplier: t too large — fraction no longer addresses the LUT");
+  }
+
+  // Pre-align the LUT for the batch kernel: entry = (s_ij << 1) shifted to
+  // the f-bit fraction (the c_of = 0 addend); the c_of = 1 addend is
+  // entry >> 1 exactly, in both the widening and narrowing direction.
+  const int f = cfg_.fraction_bits();
+  const int q1 = cfg_.q + 1;
+  const auto& units = lut_->all_units();
+  batch_lut_.resize(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const std::uint64_t doubled = std::uint64_t{units[i]} << 1;
+    batch_lut_[i] = f >= q1 ? (doubled << (f - q1)) : (doubled >> (q1 - f));
   }
 }
 
@@ -73,6 +151,22 @@ std::uint64_t RealmMultiplier::multiply(std::uint64_t a, std::uint64_t b) const 
   // faithfully.
   if (k_sum >= f) return significand << (k_sum - f);
   return significand >> (f - k_sum);
+}
+
+void RealmMultiplier::multiply_batch(const std::uint64_t* a, const std::uint64_t* b,
+                                     std::uint64_t* out, std::size_t n) const {
+  const int f = cfg_.fraction_bits();
+  RealmKernelParams kp;
+  kp.w = static_cast<std::uint64_t>(cfg_.n - 1);
+  kp.t = static_cast<std::uint64_t>(cfg_.t);
+  kp.f = static_cast<std::uint64_t>(f);
+  kp.sel_shift = static_cast<std::uint64_t>(f - lut_->select_bits());
+  kp.sel = static_cast<std::uint64_t>(lut_->select_bits());
+  kp.lut = batch_lut_.data();
+  kp.fmask = num::mask(f);
+  kp.one_f = std::uint64_t{1} << f;
+  kp.one_w = std::uint64_t{1} << kp.w;
+  realm_batch_kernel(a, b, out, n, kp);
 }
 
 std::uint64_t RealmMultiplier::multiply_saturated(std::uint64_t a, std::uint64_t b) const {

@@ -1,0 +1,319 @@
+#include "realm/error/eval_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "realm/numeric/bits.hpp"
+#include "realm/numeric/rng.hpp"
+#include "realm/numeric/simd.hpp"
+#include "realm/numeric/thread_pool.hpp"
+
+namespace realm::err {
+namespace {
+
+unsigned resolve_threads(int requested) {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+// Per-thread scratch: operand, product and error blocks.  thread_local so the
+// persistent pool workers allocate once and reuse across shards and calls.
+struct Scratch {
+  std::vector<std::uint64_t> a, b, p;
+  std::vector<double> e;
+  Scratch() : a(kBatchPairs), b(kBatchPairs), p(kBatchPairs), e(kBatchPairs) {}
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
+// Raw moments of one operand block.  The engine reduces each block to these
+// five numbers with lane-parallel loops (no per-sample division for the
+// variance) and folds blocks into an ErrorAccumulator through the
+// numerically stable merge().
+struct BlockStats {
+  double sum = 0.0;      // Σ e
+  double sumsq = 0.0;    // Σ e²
+  double abs_sum = 0.0;  // Σ |e|
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::uint64_t n = 0;   // pairs with a defined relative error
+};
+
+// Fills an operand block from the shard's splitmix64 stream in counter form:
+// pair i uses draws 2i and 2i+1, each mapped to `width` bits by taking the
+// top bits (draws are uniform over 2^64, so the top-bit map is exactly
+// uniform over [0, 2^width)).  No loop-carried dependency — vectorizes.
+REALM_MULTIVERSION
+void generate_block(std::uint64_t seed, std::uint64_t first_pair, int shift,
+                    std::uint64_t* __restrict a, std::uint64_t* __restrict b,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t j = 2 * (first_pair + i);
+    a[i] = num::splitmix64_at(seed, j) >> shift;
+    b[i] = num::splitmix64_at(seed, j + 1) >> shift;
+  }
+}
+
+// Fixed 8-lane vectors for the reduction, written with GCC vector extensions
+// rather than left to the auto-vectorizer: every lane op is an IEEE
+// elementwise op, so each target_clones ISA lowers the *same* arithmetic
+// (zmm on AVX-512, 2×ymm on AVX2, SSE2 pairs on the default clone) and the
+// result is bit-identical across clones, not just across thread counts.
+// aligned(8): Scratch vectors only guarantee element alignment, so loads and
+// stores must be emitted unaligned.
+typedef double Vd __attribute__((vector_size(64), aligned(8)));
+typedef std::uint64_t Vu __attribute__((vector_size(64), aligned(8)));
+constexpr std::size_t kLanes = sizeof(Vd) / sizeof(double);
+
+// Reduces a block of products to BlockStats and writes the per-pair relative
+// errors to e[] (0 for skipped zero pairs) for the histogram pass.  Zero
+// pairs are skipped exactly as in the scalar reference: the max() divisor
+// keeps the (unconditional) division safe, and the mask blend forces e to
+// exactly 0 so the pair drops out of the sums even for designs whose product
+// is nonzero for a zero operand (e.g. TRUNC's correction constant); min/max
+// and the count blend the pair away.  Lanes fold in fixed order and the tail
+// runs the same formulas in scalar, so the result is deterministic.
+REALM_MULTIVERSION
+BlockStats reduce_block(const std::uint64_t* __restrict a,
+                        const std::uint64_t* __restrict b,
+                        const std::uint64_t* __restrict p, double* __restrict e,
+                        std::size_t n) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const Vd vzero = Vd{};
+  const Vd vone = vzero + 1.0;
+  const Vd vinf = vzero + kInf;
+  Vd vsum{}, vsumsq{}, vabs{}, vcnt{};
+  Vd vmn = vinf, vmx = -vinf;
+
+  const std::size_t main_n = n - n % kLanes;
+  for (std::size_t i = 0; i < main_n; i += kLanes) {
+    // All comparisons are on doubles — integer vector compares lower to
+    // scalar extract sequences on GCC 12, FP compares to vcmppd + blends.
+    // A pair is valid iff exact > 0 (operands are < 2^31, so the product
+    // converts without losing the zero/nonzero distinction).
+    const Vd ad = __builtin_convertvector(*reinterpret_cast<const Vu*>(a + i), Vd);
+    const Vd bd = __builtin_convertvector(*reinterpret_cast<const Vu*>(b + i), Vd);
+    const Vd pd = __builtin_convertvector(*reinterpret_cast<const Vu*>(p + i), Vd);
+    const Vd exact = ad * bd;
+    const Vd divisor = exact > vone ? exact : vone;  // 1.0 only for zero pairs
+    const Vd eraw = (pd - exact) / divisor;
+    const Vd validm = exact > vzero ? vone : vzero;
+    const Vd ev = eraw * validm;  // exact 0 for zero pairs (eraw is finite)
+    *reinterpret_cast<Vd*>(e + i) = ev;
+    vsum += ev;
+    vsumsq += ev * ev;
+    vabs += reinterpret_cast<Vd>(reinterpret_cast<Vu>(ev) & 0x7fffffffffffffffULL);
+    const Vd cmin = exact > vzero ? ev : vinf;
+    const Vd cmax = exact > vzero ? ev : -vinf;
+    vmn = vmn < cmin ? vmn : cmin;
+    vmx = vmx > cmax ? vmx : cmax;
+    vcnt += validm;
+  }
+
+  BlockStats s;
+  double cnt = 0.0;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    s.sum += vsum[l];
+    s.sumsq += vsumsq[l];
+    s.abs_sum += vabs[l];
+    s.min = std::min(s.min, vmn[l]);
+    s.max = std::max(s.max, vmx[l]);
+    cnt += vcnt[l];
+  }
+  for (std::size_t i = main_n; i < n; ++i) {
+    const double exact = static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    const double eraw = (static_cast<double>(p[i]) - exact) / std::max(exact, 1.0);
+    const double ev = exact > 0.0 ? eraw : 0.0;
+    e[i] = ev;
+    s.sum += ev;
+    s.sumsq += ev * ev;
+    s.abs_sum += std::fabs(ev);
+    if (exact > 0.0) {
+      s.min = std::min(s.min, ev);
+      s.max = std::max(s.max, ev);
+      cnt += 1.0;
+    }
+  }
+  s.n = static_cast<std::uint64_t>(cnt);
+  return s;
+}
+
+ErrorAccumulator stats_to_acc(const BlockStats& s) noexcept {
+  if (s.n == 0) return {};
+  const double mean = s.sum / static_cast<double>(s.n);
+  // Σ(e - mean)² = Σe² - Σe·mean.  Blocks are small (≤ kBatchPairs) and |e|
+  // is O(1), so the cancellation is benign; cross-block combination then
+  // goes through the stable pairwise merge().
+  return ErrorAccumulator::from_moments(s.n, mean, s.sumsq - s.sum * mean,
+                                        s.abs_sum, s.min, s.max);
+}
+
+// One Monte-Carlo shard: generate → multiply_batch → reduce, kBatchPairs at
+// a time.  Everything depends only on (seed, samples), never on which worker
+// runs the shard.
+ErrorAccumulator run_mc_shard(const Multiplier& design, std::uint64_t samples,
+                              std::uint64_t seed, Histogram* hist) {
+  const int shift = 64 - design.width();
+  Scratch& buf = scratch();
+  ErrorAccumulator acc;
+
+  std::uint64_t pair0 = 0;
+  while (pair0 < samples) {
+    const auto block = static_cast<std::size_t>(
+        std::min<std::uint64_t>(samples - pair0, kBatchPairs));
+    generate_block(seed, pair0, shift, buf.a.data(), buf.b.data(), block);
+    design.multiply_batch(buf.a.data(), buf.b.data(), buf.p.data(), block);
+    acc.merge(stats_to_acc(
+        reduce_block(buf.a.data(), buf.b.data(), buf.p.data(), buf.e.data(), block)));
+    if (hist != nullptr) {
+      for (std::size_t i = 0; i < block; ++i) {
+        if (buf.a[i] != 0 && buf.b[i] != 0) hist->add(100.0 * buf.e[i]);
+      }
+    }
+    pair0 += block;
+  }
+  return acc;
+}
+
+}  // namespace
+
+ErrorMetrics monte_carlo_batched(const Multiplier& design,
+                                 const MonteCarloOptions& opts, Histogram* hist) {
+  const std::uint64_t shards = mc_shard_count(opts.samples);
+
+  // Seed-stability invariant: shard seeds come from the splitmix64 sequence
+  // over the user seed, in shard order, exactly as the seed implementation
+  // derived its per-thread seeds — but the shard count is a function of the
+  // sample budget alone, so the merged result is independent of how many
+  // threads execute the shards.
+  std::uint64_t st = opts.seed;
+  std::vector<std::uint64_t> seeds(shards);
+  for (auto& s : seeds) s = num::splitmix64(st);
+
+  const std::uint64_t per = opts.samples / shards;
+  const std::uint64_t rem = opts.samples % shards;
+
+  std::vector<ErrorAccumulator> accs(shards);
+  std::vector<Histogram> shard_hists;
+  if (hist != nullptr) {
+    shard_hists.assign(static_cast<std::size_t>(shards),
+                       Histogram{hist->lo(), hist->hi(), hist->bins()});
+  }
+
+  num::ThreadPool::global().run(
+      static_cast<std::size_t>(shards), resolve_threads(opts.threads),
+      [&](std::size_t si) {
+        const std::uint64_t n = per + (si < rem ? 1 : 0);
+        accs[si] = run_mc_shard(design, n, seeds[si],
+                                hist != nullptr ? &shard_hists[si] : nullptr);
+      });
+
+  ErrorAccumulator total;
+  for (const auto& acc : accs) total.merge(acc);
+  if (hist != nullptr) {
+    for (const auto& h : shard_hists) hist->merge(h);
+  }
+  return total.metrics();
+}
+
+ErrorMetrics exhaustive(const Multiplier& design, std::optional<std::uint64_t> lo,
+                        std::optional<std::uint64_t> hi, int threads) {
+  const std::uint64_t a0 = lo.value_or(0);
+  const std::uint64_t a1 = hi.value_or(num::mask(design.width()));
+  if (a1 < a0) return ErrorMetrics{};
+  const std::uint64_t rows = a1 - a0 + 1;
+
+  // Row-range sharding.  The shard grid depends only on the input range
+  // (never the thread count), and shards merge in row order, so the result
+  // is deterministic for any parallelism.
+  const std::uint64_t shards = std::min<std::uint64_t>(rows, kExhaustiveShards);
+  const std::uint64_t rows_per = rows / shards;
+  const std::uint64_t rows_rem = rows % shards;
+
+  std::vector<ErrorAccumulator> accs(shards);
+  num::ThreadPool::global().run(
+      static_cast<std::size_t>(shards), resolve_threads(threads),
+      [&](std::size_t si) {
+        // Shard si covers rows [r0, r0 + n_rows); the first rows_rem shards
+        // take one extra row.
+        const std::uint64_t r0 =
+            a0 + si * rows_per + std::min<std::uint64_t>(si, rows_rem);
+        const std::uint64_t n_rows = rows_per + (si < rows_rem ? 1 : 0);
+
+        Scratch& buf = scratch();
+        ErrorAccumulator acc;
+        for (std::uint64_t a = r0; a < r0 + n_rows; ++a) {
+          std::uint64_t b = a0;
+          while (b <= a1) {
+            const auto block = static_cast<std::size_t>(
+                std::min<std::uint64_t>(a1 - b + 1, kBatchPairs));
+            for (std::size_t i = 0; i < block; ++i) {
+              buf.a[i] = a;
+              buf.b[i] = b + i;
+            }
+            design.multiply_batch(buf.a.data(), buf.b.data(), buf.p.data(), block);
+            acc.merge(stats_to_acc(reduce_block(buf.a.data(), buf.b.data(),
+                                                buf.p.data(), buf.e.data(), block)));
+            b += block;
+          }
+        }
+        accs[si] = acc;
+      });
+
+  ErrorAccumulator total;
+  for (const auto& acc : accs) total.merge(acc);
+  return total.metrics();
+}
+
+ErrorMetrics monte_carlo_scalar_reference(const Multiplier& design,
+                                          const MonteCarloOptions& opts) {
+  // Verbatim port of the pre-engine implementation (see file header).
+  const auto scalar_shard = [&design](std::uint64_t samples, std::uint64_t seed) {
+    num::Xoshiro256 rng{seed};
+    const std::uint64_t range = std::uint64_t{1} << design.width();
+    ErrorAccumulator acc;
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      const std::uint64_t a = rng.below(range);
+      const std::uint64_t b = rng.below(range);
+      if (a == 0 || b == 0) continue;
+      const double exact = static_cast<double>(a) * static_cast<double>(b);
+      acc.add((static_cast<double>(design.multiply(a, b)) - exact) / exact);
+    }
+    return acc;
+  };
+
+  const unsigned threads = resolve_threads(opts.threads);
+  if (threads <= 1) {
+    std::uint64_t st = opts.seed;
+    return scalar_shard(opts.samples, num::splitmix64(st)).metrics();
+  }
+
+  std::vector<ErrorAccumulator> shards(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  std::uint64_t st = opts.seed;
+  std::vector<std::uint64_t> seeds(threads);
+  for (auto& s : seeds) s = num::splitmix64(st);
+
+  const std::uint64_t per = opts.samples / threads;
+  const std::uint64_t rem = opts.samples % threads;
+  for (unsigned ti = 0; ti < threads; ++ti) {
+    const std::uint64_t n = per + (ti < rem ? 1 : 0);
+    pool.emplace_back(
+        [&, ti, n] { shards[ti] = scalar_shard(n, seeds[ti]); });
+  }
+  for (auto& th : pool) th.join();
+
+  ErrorAccumulator total;
+  for (const auto& s : shards) total.merge(s);
+  return total.metrics();
+}
+
+}  // namespace realm::err

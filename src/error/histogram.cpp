@@ -27,6 +27,16 @@ void Histogram::add(double v) noexcept {
   ++counts_[idx];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: mismatched range or bins");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 std::uint64_t Histogram::count(int bin) const {
   return counts_.at(static_cast<std::size_t>(bin));
 }

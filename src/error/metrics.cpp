@@ -32,6 +32,20 @@ void ErrorAccumulator::add_pair(double approx, double exact) noexcept {
   add((approx - exact) / exact);
 }
 
+ErrorAccumulator ErrorAccumulator::from_moments(std::uint64_t n, double mean,
+                                                double m2, double abs_sum,
+                                                double min, double max) noexcept {
+  ErrorAccumulator acc;
+  if (n == 0) return acc;
+  acc.n_ = n;
+  acc.mean_ = mean;
+  acc.m2_ = m2 < 0.0 ? 0.0 : m2;  // guard tiny negative round-off
+  acc.abs_sum_ = abs_sum;
+  acc.min_ = min;
+  acc.max_ = max;
+  return acc;
+}
+
 void ErrorAccumulator::merge(const ErrorAccumulator& other) noexcept {
   if (other.n_ == 0) return;
   if (n_ == 0) {

@@ -1,95 +1,25 @@
+// Public error-characterization entry points.  All three engines run on the
+// batched evaluation core (eval_engine) and the shared persistent thread
+// pool; see include/realm/error/eval_engine.hpp for the architecture and the
+// seed-stability invariant.  exhaustive() is defined alongside the engine in
+// eval_engine.cpp so it can share the block-reduction kernels.
+
 #include "realm/error/monte_carlo.hpp"
 
-#include <thread>
-#include <vector>
-
-#include "realm/numeric/bits.hpp"
-#include "realm/numeric/rng.hpp"
+#include "realm/error/eval_engine.hpp"
 
 namespace realm::err {
-namespace {
-
-ErrorAccumulator run_shard(const Multiplier& design, std::uint64_t samples,
-                           std::uint64_t seed) {
-  num::Xoshiro256 rng{seed};
-  const std::uint64_t range = std::uint64_t{1} << design.width();
-  ErrorAccumulator acc;
-  for (std::uint64_t i = 0; i < samples; ++i) {
-    const std::uint64_t a = rng.below(range);
-    const std::uint64_t b = rng.below(range);
-    if (a == 0 || b == 0) continue;  // relative error undefined
-    const double exact = static_cast<double>(a) * static_cast<double>(b);
-    acc.add((static_cast<double>(design.multiply(a, b)) - exact) / exact);
-  }
-  return acc;
-}
-
-}  // namespace
 
 ErrorMetrics monte_carlo(const Multiplier& design, const MonteCarloOptions& opts) {
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  const unsigned threads =
-      opts.threads > 0 ? static_cast<unsigned>(opts.threads) : hw;
-
-  if (threads <= 1) {
-    // Derive the shard seed the same way as the parallel path so results are
-    // identical regardless of thread count.
-    std::uint64_t st = opts.seed;
-    return run_shard(design, opts.samples, num::splitmix64(st)).metrics();
-  }
-
-  std::vector<ErrorAccumulator> shards(threads);
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  std::uint64_t st = opts.seed;
-  std::vector<std::uint64_t> seeds(threads);
-  for (auto& s : seeds) s = num::splitmix64(st);
-
-  const std::uint64_t per = opts.samples / threads;
-  const std::uint64_t rem = opts.samples % threads;
-  for (unsigned ti = 0; ti < threads; ++ti) {
-    const std::uint64_t n = per + (ti < rem ? 1 : 0);
-    pool.emplace_back([&, ti, n] { shards[ti] = run_shard(design, n, seeds[ti]); });
-  }
-  for (auto& th : pool) th.join();
-
-  ErrorAccumulator total;
-  for (const auto& s : shards) total.merge(s);
-  return total.metrics();
+  return monte_carlo_batched(design, opts, nullptr);
 }
 
 ErrorMetrics monte_carlo_histogram(const Multiplier& design, Histogram* hist,
                                    const MonteCarloOptions& opts) {
-  std::uint64_t st = opts.seed;
-  num::Xoshiro256 rng{num::splitmix64(st)};
-  const std::uint64_t range = std::uint64_t{1} << design.width();
-  ErrorAccumulator acc;
-  for (std::uint64_t i = 0; i < opts.samples; ++i) {
-    const std::uint64_t a = rng.below(range);
-    const std::uint64_t b = rng.below(range);
-    if (a == 0 || b == 0) continue;
-    const double exact = static_cast<double>(a) * static_cast<double>(b);
-    const double e = (static_cast<double>(design.multiply(a, b)) - exact) / exact;
-    acc.add(e);
-    if (hist != nullptr) hist->add(100.0 * e);
-  }
-  return acc.metrics();
-}
-
-ErrorMetrics exhaustive(const Multiplier& design, std::optional<std::uint64_t> lo,
-                        std::optional<std::uint64_t> hi) {
-  const std::uint64_t a0 = lo.value_or(0);
-  const std::uint64_t a1 = hi.value_or(num::mask(design.width()));
-  ErrorAccumulator acc;
-  for (std::uint64_t a = a0; a <= a1; ++a) {
-    for (std::uint64_t b = a0; b <= a1; ++b) {
-      if (a == 0 || b == 0) continue;
-      const double exact = static_cast<double>(a) * static_cast<double>(b);
-      acc.add((static_cast<double>(design.multiply(a, b)) - exact) / exact);
-    }
-  }
-  return acc.metrics();
+  // Same shard runner as monte_carlo — the two calls return identical
+  // metrics for identical options; the histogram shards are private per
+  // shard and merged in shard order.
+  return monte_carlo_batched(design, opts, hist);
 }
 
 }  // namespace realm::err

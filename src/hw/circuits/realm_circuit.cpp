@@ -18,7 +18,10 @@ namespace {
 Module build_realm_impl(const core::RealmConfig& cfg, bool pipelined) {
   const int n = cfg.n;
   const int f = cfg.fraction_bits();
-  const core::SegmentLut lut{cfg.m, cfg.q, cfg.formulation};
+  // Shared cache: the cost model builds one circuit per sweep point, and
+  // re-integrating Eq. 11 per point dwarfed the netlist construction itself.
+  const auto lut_ptr = core::SegmentLut::shared(cfg.m, cfg.q, cfg.formulation);
+  const core::SegmentLut& lut = *lut_ptr;
   if (f < lut.select_bits()) {
     throw std::invalid_argument("build_realm: t too large for the LUT selects");
   }

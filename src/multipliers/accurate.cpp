@@ -4,8 +4,19 @@
 #include <stdexcept>
 
 #include "realm/numeric/bits.hpp"
+#include "realm/numeric/simd.hpp"
 
 namespace realm::mult {
+namespace {
+
+REALM_MULTIVERSION
+void accurate_batch_kernel(const std::uint64_t* __restrict a,
+                           const std::uint64_t* __restrict b,
+                           std::uint64_t* __restrict out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+}  // namespace
 
 AccurateMultiplier::AccurateMultiplier(int n) : n_{n} {
   if (n < 1 || n > 31) throw std::invalid_argument("AccurateMultiplier: N in [1, 31]");
@@ -14,6 +25,11 @@ AccurateMultiplier::AccurateMultiplier(int n) : n_{n} {
 std::uint64_t AccurateMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
   assert(num::fits(a, n_) && num::fits(b, n_));
   return a * b;
+}
+
+void AccurateMultiplier::multiply_batch(const std::uint64_t* a, const std::uint64_t* b,
+                                        std::uint64_t* out, std::size_t n) const {
+  accurate_batch_kernel(a, b, out, n);
 }
 
 }  // namespace realm::mult

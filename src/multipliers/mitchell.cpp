@@ -4,8 +4,51 @@
 #include <stdexcept>
 
 #include "realm/numeric/bits.hpp"
+#include "realm/numeric/simd.hpp"
 
 namespace realm::mult {
+namespace {
+
+// Branchless form of the scalar datapath, all per-element values in 64-bit
+// lanes so the loop auto-vectorizes: zero operands run through as if they
+// were 1 and the result is blended to 0, and the normalize step uses
+// (av << (w - ka)) ^ (1 << w) — the leading one always lands on bit w, so
+// the clearing mask is loop-invariant.  With f = 0 (t = N-1), mask(0) = 0
+// makes frac 0 and c_of = fsum, matching the scalar path's special case.
+REALM_MULTIVERSION
+void mitchell_batch_kernel(const std::uint64_t* __restrict a,
+                           const std::uint64_t* __restrict b,
+                           std::uint64_t* __restrict out, std::size_t n,
+                           std::uint64_t w, std::uint64_t t, std::uint64_t f,
+                           std::uint64_t fmask, std::uint64_t one_f,
+                           std::uint64_t one_w) {
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const std::uint64_t a0 = a[idx];
+    const std::uint64_t b0 = b[idx];
+    const std::uint64_t av = a0 | static_cast<std::uint64_t>(a0 == 0);
+    const std::uint64_t bv = b0 | static_cast<std::uint64_t>(b0 == 0);
+    const auto ka = 63u - static_cast<std::uint64_t>(std::countl_zero(av));
+    const auto kb = 63u - static_cast<std::uint64_t>(std::countl_zero(bv));
+    const std::uint64_t xf = ((av << (w - ka)) ^ one_w) >> t;
+    const std::uint64_t yf = ((bv << (w - kb)) ^ one_w) >> t;
+
+    const std::uint64_t fsum = xf + yf;
+    const std::uint64_t c_of = fsum >> f;
+    const std::uint64_t frac = fsum & fmask;
+
+    const std::uint64_t significand = one_f | frac;
+    // Both shift directions computed at masked (in-range) amounts so the
+    // select if-converts to a blend; |d| < 64 always.
+    const auto d = static_cast<std::int64_t>(ka + kb + c_of) -
+                   static_cast<std::int64_t>(f);
+    const std::uint64_t shl = significand << (static_cast<std::uint64_t>(d) & 63u);
+    const std::uint64_t shr = significand >> (static_cast<std::uint64_t>(-d) & 63u);
+    const std::uint64_t val = (d >= 0) ? shl : shr;
+    out[idx] = ((a0 != 0) & (b0 != 0)) ? val : 0;
+  }
+}
+
+}  // namespace
 
 MitchellMultiplier::MitchellMultiplier(int n, int t) : n_{n}, t_{t} {
   if (n < 2 || n > 31) throw std::invalid_argument("MitchellMultiplier: N in [2, 31]");
@@ -33,6 +76,15 @@ std::uint64_t MitchellMultiplier::multiply(std::uint64_t a, std::uint64_t b) con
   const std::uint64_t significand = (std::uint64_t{1} << f) | frac;
   if (k_sum >= f) return significand << (k_sum - f);
   return significand >> (f - k_sum);
+}
+
+void MitchellMultiplier::multiply_batch(const std::uint64_t* a, const std::uint64_t* b,
+                                        std::uint64_t* out, std::size_t n) const {
+  const auto w = static_cast<std::uint64_t>(n_ - 1);
+  const auto f = static_cast<std::uint64_t>(n_ - 1 - t_);
+  mitchell_batch_kernel(a, b, out, n, w, static_cast<std::uint64_t>(t_), f,
+                        num::mask(static_cast<int>(f)), std::uint64_t{1} << f,
+                        std::uint64_t{1} << w);
 }
 
 std::string MitchellMultiplier::name() const {

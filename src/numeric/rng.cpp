@@ -7,10 +7,7 @@
 namespace realm::num {
 
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return splitmix64_mix(state += kSplitmix64Gamma);
 }
 
 Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {

@@ -1,0 +1,134 @@
+#include "realm/numeric/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace realm::num {
+
+struct ThreadPool::Impl {
+  // One "region" at a time: run() serializes callers via region_mutex_ (with
+  // try_lock fallback to inline execution, see run()).  Workers claim task
+  // indices from the shared atomic cursor, so load balancing is dynamic and
+  // no per-task queue allocation is needed.
+  std::mutex m;
+  std::condition_variable work_ready;
+  std::condition_variable region_done;
+  std::vector<std::thread> threads;
+
+  std::mutex region_mutex;  // serializes concurrent run() callers
+
+  // Current region, valid while generation is odd-ended... simply guarded
+  // by m; workers re-check generation to detect new regions.
+  std::uint64_t generation = 0;
+  std::size_t count = 0;
+  unsigned helpers_wanted = 0;
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::atomic<std::size_t> cursor{0};
+  unsigned active = 0;
+  std::exception_ptr first_error;
+  bool stop = false;
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock lock{m};
+    for (;;) {
+      work_ready.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      if (helpers_wanted == 0) continue;  // region already fully staffed
+      --helpers_wanted;
+      ++active;
+      lock.unlock();
+      drain();
+      lock.lock();
+      if (--active == 0) region_done.notify_all();
+    }
+  }
+
+  // Claims and runs tasks until the region is exhausted.  Called without
+  // holding m.
+  void drain() {
+    const std::size_t n = count;
+    const auto* fn = task;
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard lock{m};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned workers) : impl_{new Impl} {
+  impl_->threads.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{impl_->m};
+    impl_->stop = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+unsigned ThreadPool::workers() const noexcept {
+  return static_cast<unsigned>(impl_->threads.size());
+}
+
+void ThreadPool::run(std::size_t count, unsigned parallelism,
+                     const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (parallelism == 0) parallelism = workers() + 1;
+
+  // Inline paths: nothing to parallelize, or the pool is busy serving
+  // another caller (including a task on this pool calling run() again —
+  // running inline keeps that deadlock-free).
+  std::unique_lock region{impl_->region_mutex, std::try_to_lock};
+  if (parallelism <= 1 || count <= 1 || workers() == 0 || !region.owns_lock()) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  {
+    std::lock_guard lock{impl_->m};
+    impl_->count = count;
+    impl_->task = &task;
+    impl_->cursor.store(0, std::memory_order_relaxed);
+    impl_->first_error = nullptr;
+    const auto max_helpers = static_cast<unsigned>(impl_->threads.size());
+    impl_->helpers_wanted = std::min(parallelism - 1, max_helpers);
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+
+  impl_->drain();  // the caller is a full participant
+
+  std::unique_lock lock{impl_->m};
+  impl_->region_done.wait(lock, [&] { return impl_->active == 0; });
+  impl_->helpers_wanted = 0;  // late wakers must not join a finished region
+  impl_->task = nullptr;
+  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool{[] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0;
+  }()};
+  return pool;
+}
+
+}  // namespace realm::num

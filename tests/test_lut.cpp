@@ -80,6 +80,52 @@ INSTANTIATE_TEST_SUITE_P(AllPracticalConfigs, LutQuantizationSweep,
                                            std::tuple{16, 6}, std::tuple{16, 7},
                                            std::tuple{16, 8}));
 
+TEST(SegmentLutCache, SharesOneTablePerConfiguration) {
+  const auto a = core::SegmentLut::shared(8, 6);
+  const auto b = core::SegmentLut::shared(8, 6);
+  EXPECT_EQ(a.get(), b.get());  // identical (m, q, formulation) => same object
+
+  // Any differing key component yields a distinct table.
+  EXPECT_NE(a.get(), core::SegmentLut::shared(16, 6).get());
+  EXPECT_NE(a.get(), core::SegmentLut::shared(8, 7).get());
+  EXPECT_NE(a.get(),
+            core::SegmentLut::shared(8, 6, core::Formulation::kMeanSquareError).get());
+}
+
+TEST(SegmentLutCache, CachedTableMatchesFreshDerivation) {
+  const auto cached = core::SegmentLut::shared(16, 6);
+  const core::SegmentLut fresh{16, 6};
+  ASSERT_EQ(cached->all_units().size(), fresh.all_units().size());
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      EXPECT_EQ(cached->units(i, j), fresh.units(i, j));
+      EXPECT_EQ(cached->exact(i, j), fresh.exact(i, j));
+    }
+  }
+}
+
+TEST(SegmentLutCache, ExpiredEntriesAreRederived) {
+  // Weak caching: once all users drop the table it is freed, and a new
+  // request builds (and re-caches) a fresh instance rather than crashing.
+  const core::SegmentLut* first;
+  {
+    const auto a = core::SegmentLut::shared(4, 10);
+    first = a.get();
+    EXPECT_EQ(a.use_count(), 1);
+  }
+  const auto b = core::SegmentLut::shared(4, 10);
+  EXPECT_NE(b.get(), nullptr);
+  EXPECT_EQ(b->m(), 4);
+  EXPECT_EQ(b->q(), 10);
+  (void)first;  // may or may not be the same address — both are valid
+}
+
+TEST(SegmentLutCache, InvalidConfigurationsStillThrow) {
+  EXPECT_THROW((void)core::SegmentLut::shared(3, 6), std::invalid_argument);
+  EXPECT_THROW((void)core::SegmentLut::shared(8, 2), std::invalid_argument);
+  EXPECT_THROW((void)core::SegmentLut::shared(16, 4), std::domain_error);
+}
+
 TEST(SegmentLut, CoarseQuantizationOverflowsTheStoredWidth) {
   // For M >= 8 the largest factor (~0.225 at the anti-diagonal centre)
   // rounds up to 0.25 at q <= 4, which no longer fits q-2 bits — the
