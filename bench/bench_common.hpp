@@ -18,8 +18,9 @@ namespace realm::bench {
 struct Args {
   std::uint64_t samples = std::uint64_t{1} << 22;  ///< Monte-Carlo pairs
   std::uint32_t cycles = 1000;                     ///< power stimulus vectors
+  std::uint32_t vectors = 0;  ///< fault-sim vectors per site; 0 = bench default
   int image_size = 512;                            ///< JPEG evaluation images
-  int threads = 0;  ///< Monte-Carlo parallelism; 0 = hardware concurrency
+  int threads = 0;  ///< parallelism (MC shards / gate-sim blocks); 0 = all cores
   bool full = false;  ///< use the paper's full 2^24 sample budget
 
   /// Strict decimal parse: the whole value must be digits (strtoull's
@@ -37,6 +38,23 @@ struct Args {
     return v;
   }
 
+  /// parse_u64 plus an inclusive range check — zero or absurd values abort
+  /// with exit 2 instead of running a degenerate experiment (e.g. a
+  /// zero-cycle power sweep or 2^40 threads).
+  static std::uint64_t parse_ranged(const char* flag, const char* s, std::uint64_t lo,
+                                    std::uint64_t hi) {
+    const std::uint64_t v = parse_u64(flag, s);
+    if (v < lo || v > hi) {
+      std::fprintf(stderr,
+                   "bad value for %s: %llu (expected %llu..%llu)\n", flag,
+                   static_cast<unsigned long long>(v),
+                   static_cast<unsigned long long>(lo),
+                   static_cast<unsigned long long>(hi));
+      std::exit(2);
+    }
+    return v;
+  }
+
   static Args parse(int argc, char** argv) {
     Args a;
     for (int i = 1; i < argc; ++i) {
@@ -45,20 +63,28 @@ struct Args {
         return arg.c_str() + std::strlen(prefix);
       };
       if (arg.rfind("--samples=", 0) == 0) {
-        a.samples = parse_u64("--samples", val("--samples="));
+        a.samples = parse_ranged("--samples", val("--samples="), 1,
+                                 std::uint64_t{1} << 40);
       } else if (arg.rfind("--cycles=", 0) == 0) {
-        a.cycles = static_cast<std::uint32_t>(parse_u64("--cycles", val("--cycles=")));
+        a.cycles = static_cast<std::uint32_t>(
+            parse_ranged("--cycles", val("--cycles="), 1, 1u << 30));
+      } else if (arg.rfind("--vectors=", 0) == 0) {
+        a.vectors = static_cast<std::uint32_t>(
+            parse_ranged("--vectors", val("--vectors="), 1, 1u << 30));
       } else if (arg.rfind("--image-size=", 0) == 0) {
-        a.image_size =
-            static_cast<int>(parse_u64("--image-size", val("--image-size=")));
+        a.image_size = static_cast<int>(
+            parse_ranged("--image-size", val("--image-size="), 8, 1u << 14));
       } else if (arg.rfind("--threads=", 0) == 0) {
-        a.threads = static_cast<int>(parse_u64("--threads", val("--threads=")));
+        a.threads = static_cast<int>(
+            parse_ranged("--threads", val("--threads="), 0, 1u << 16));
       } else if (arg == "--full") {
         a.full = true;
         a.samples = std::uint64_t{1} << 24;  // the paper's budget
         a.cycles = 4000;
       } else if (arg == "--help") {
-        std::printf("flags: --samples=N --cycles=N --image-size=N --threads=N --full\n");
+        std::printf(
+            "flags: --samples=N --cycles=N --vectors=N --image-size=N "
+            "--threads=N --full\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());

@@ -1,0 +1,181 @@
+// Gate-level simulation engine benchmark: the scalar one-vector-per-sweep
+// Simulator vs the 64-lane packed engine, on the three workloads it serves
+// (power sweeps, fault campaigns, exhaustive equivalence).  Also verifies on
+// every run that the packed results are bit-identical to the scalar
+// reference, and writes bench_out/BENCH_gate_sim.json so CI tracks the perf
+// trajectory next to BENCH_eval_engine.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/faults.hpp"
+#include "realm/hw/packed_simulator.hpp"
+#include "realm/hw/power.hpp"
+#include "realm/multipliers/registry.hpp"
+
+using namespace realm;
+
+namespace {
+
+// Best-of-N wall time of fn in seconds (minimum over repetitions: external
+// noise only ever slows a run down).
+template <typename Fn>
+double measure_seconds(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up: page in code, spin up pool workers
+  double best = 1e300;
+  double elapsed = 0.0;
+  int reps = 0;
+  do {
+    const auto t0 = clock::now();
+    fn();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    best = std::min(best, dt);
+    elapsed += dt;
+    ++reps;
+  } while ((elapsed < 0.5 || reps < 3) && reps < 32);
+  return best;
+}
+
+bool reports_identical(const hw::PowerReport& a, const hw::PowerReport& b) {
+  return a.dynamic == b.dynamic && a.leakage == b.leakage;
+}
+
+bool reports_identical(const hw::FaultReport& a, const hw::FaultReport& b) {
+  return a.sites_analyzed == b.sites_analyzed &&
+         a.sites_undetected == b.sites_undetected &&
+         a.mean_rel_error == b.mean_rel_error && a.worst_rel_error == b.worst_rel_error;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const int nt = args.threads > 0 ? args.threads
+                                  : static_cast<int>(hw_threads == 0 ? 1 : hw_threads);
+
+  const char* spec = "realm:m=16,t=0";  // REALM16, the paper's headline config
+  const hw::Module mod = hw::build_circuit(spec, 16);
+  std::printf("gate-level simulation engine, %s (%zu gates)\n", spec,
+              mod.gates().size());
+
+  // --- power sweep: scalar reference vs packed, 1 and N threads -----------
+  hw::StimulusProfile p1;
+  p1.cycles = args.cycles;
+  p1.threads = 1;
+  hw::StimulusProfile pn = p1;
+  pn.threads = nt;
+
+  const auto scalar_report = hw::estimate_power_reference(mod, p1);
+  const auto packed_report = hw::estimate_power(mod, pn);
+  const bool power_identical = reports_identical(scalar_report, packed_report);
+
+  const double cyc = static_cast<double>(args.cycles);
+  const double power_scalar =
+      cyc / measure_seconds([&] { (void)hw::estimate_power_reference(mod, p1); });
+  const double power_packed_1t =
+      cyc / measure_seconds([&] { (void)hw::estimate_power(mod, p1); });
+  const double power_packed_nt =
+      cyc / measure_seconds([&] { (void)hw::estimate_power(mod, pn); });
+
+  std::printf("\npower sweep (%u cycles):\n", args.cycles);
+  std::printf("  scalar reference: %10.0f cycles/s\n", power_scalar);
+  std::printf("  packed engine:    %10.0f cycles/s (1 thread)  %10.0f cycles/s (%d threads)\n",
+              power_packed_1t, power_packed_nt, nt);
+  std::printf("  speedup: %.2fx (1 thread), %.2fx (%d threads); bit-identical: %s\n",
+              power_packed_1t / power_scalar, power_packed_nt / power_scalar, nt,
+              power_identical ? "yes" : "NO");
+
+  // --- fault campaign -----------------------------------------------------
+  const int vectors = static_cast<int>(args.vectors != 0 ? args.vectors : 48);
+  const std::size_t max_sites = 512;
+  const auto fault_scalar_report =
+      hw::analyze_fault_impact_reference(mod, vectors, 0xFA, max_sites);
+  const auto fault_packed_report =
+      hw::analyze_fault_impact(mod, vectors, 0xFA, max_sites, nt);
+  const bool fault_identical = reports_identical(fault_scalar_report, fault_packed_report);
+
+  const double sites = static_cast<double>(fault_scalar_report.sites_analyzed);
+  const double fault_scalar = sites / measure_seconds([&] {
+    (void)hw::analyze_fault_impact_reference(mod, vectors, 0xFA, max_sites);
+  });
+  const double fault_packed_1t = sites / measure_seconds([&] {
+    (void)hw::analyze_fault_impact(mod, vectors, 0xFA, max_sites, 1);
+  });
+  const double fault_packed_nt = sites / measure_seconds([&] {
+    (void)hw::analyze_fault_impact(mod, vectors, 0xFA, max_sites, nt);
+  });
+
+  std::printf("\nfault campaign (%zu sites, %d vectors/site):\n",
+              fault_scalar_report.sites_analyzed, vectors);
+  std::printf("  scalar reference: %10.1f sites/s\n", fault_scalar);
+  std::printf("  packed engine:    %10.1f sites/s (1 thread)  %10.1f sites/s (%d threads)\n",
+              fault_packed_1t, fault_packed_nt, nt);
+  std::printf("  speedup: %.2fx (1 thread), %.2fx (%d threads); bit-identical: %s\n",
+              fault_packed_1t / fault_scalar, fault_packed_nt / fault_scalar, nt,
+              fault_identical ? "yes" : "NO");
+
+  // --- exhaustive equivalence (8x8: the full 2^16 input space) ------------
+  const hw::Module mod8 = hw::build_circuit("realm:m=4,t=0", 8);
+  const auto model8 = mult::make_multiplier("realm:m=4,t=0", 8);
+  const auto equiv = hw::check_exhaustive_vs_model(mod8, *model8, nt);
+  const double equiv_pairs = static_cast<double>(equiv.pairs_checked);
+  const double equiv_pps = equiv_pairs / measure_seconds([&] {
+    (void)hw::check_exhaustive_vs_model(mod8, *model8, nt);
+  });
+  std::printf("\nexhaustive 8x8 equivalence (realm:m=4,t=0): %llu pairs, %s, %.1f Mpairs/s\n",
+              static_cast<unsigned long long>(equiv.pairs_checked),
+              equiv.equivalent() ? "equivalent" : "MISMATCH", equiv_pps / 1e6);
+
+  std::filesystem::create_directories("bench_out");
+  std::ofstream js{"bench_out/BENCH_gate_sim.json"};
+  char buf[2048];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"gate_sim\",\n"
+                "  \"config\": \"%s\",\n"
+                "  \"gates\": %zu,\n"
+                "  \"cycles\": %u,\n"
+                "  \"threads\": %d,\n"
+                "  \"power_scalar_cps\": %.0f,\n"
+                "  \"power_packed_cps_1t\": %.0f,\n"
+                "  \"power_packed_cps_nt\": %.0f,\n"
+                "  \"power_speedup_1t\": %.3f,\n"
+                "  \"power_speedup_nt\": %.3f,\n"
+                "  \"power_bit_identical\": %s,\n"
+                "  \"fault_sites\": %zu,\n"
+                "  \"fault_vectors\": %d,\n"
+                "  \"fault_scalar_sps\": %.1f,\n"
+                "  \"fault_packed_sps_1t\": %.1f,\n"
+                "  \"fault_packed_sps_nt\": %.1f,\n"
+                "  \"fault_speedup_1t\": %.3f,\n"
+                "  \"fault_speedup_nt\": %.3f,\n"
+                "  \"fault_bit_identical\": %s,\n"
+                "  \"equiv_pairs\": %llu,\n"
+                "  \"equiv_pairs_per_s\": %.0f,\n"
+                "  \"equiv_ok\": %s\n"
+                "}\n",
+                spec, mod.gates().size(), args.cycles, nt, power_scalar,
+                power_packed_1t, power_packed_nt, power_packed_1t / power_scalar,
+                power_packed_nt / power_scalar, power_identical ? "true" : "false",
+                fault_scalar_report.sites_analyzed, vectors, fault_scalar,
+                fault_packed_1t, fault_packed_nt, fault_packed_1t / fault_scalar,
+                fault_packed_nt / fault_scalar, fault_identical ? "true" : "false",
+                static_cast<unsigned long long>(equiv.pairs_checked), equiv_pps,
+                equiv.equivalent() ? "true" : "false");
+  js << buf;
+  std::printf("\nmeasurements written to bench_out/BENCH_gate_sim.json\n");
+
+  if (!power_identical || !fault_identical || !equiv.equivalent()) {
+    std::fprintf(stderr, "ERROR: packed engine diverged from the scalar reference\n");
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "realm/core/segment_factors.hpp"
 #include "realm/hw/circuits.hpp"
+#include "realm/hw/packed_simulator.hpp"
 #include "realm/hw/simulator.hpp"
 #include "realm/jpeg/dct.hpp"
 #include "realm/multipliers/registry.hpp"
@@ -44,6 +45,24 @@ void BM_NetlistSim(benchmark::State& state, const std::string& spec) {
     sim.eval();
     benchmark::DoNotOptimize(sim.output(0));
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// 64 stimulus vectors per sweep on the packed engine; items/s is directly
+// comparable to BM_NetlistSim's vectors/s.
+void BM_PackedNetlistSim(benchmark::State& state, const std::string& spec) {
+  const hw::Module mod = hw::build_circuit(spec, 16);
+  hw::PackedSimulator sim{mod};
+  num::Xoshiro256 rng{2};
+  for (auto _ : state) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      for (std::size_t b = 0; b < 16; ++b) sim.set_input_word(p, b, rng());
+    }
+    sim.eval();
+    benchmark::DoNotOptimize(sim.word(mod.outputs().front().bus.front()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          hw::PackedSimulator::kLanes);
 }
 
 void BM_Dct8x8(benchmark::State& state, const std::string& spec) {
@@ -74,6 +93,8 @@ BENCHMARK(BM_SegmentTable)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecon
 
 BENCHMARK_CAPTURE(BM_NetlistSim, accurate, std::string{"accurate"});
 BENCHMARK_CAPTURE(BM_NetlistSim, realm16, std::string{"realm:m=16,t=0"});
+BENCHMARK_CAPTURE(BM_PackedNetlistSim, accurate, std::string{"accurate"});
+BENCHMARK_CAPTURE(BM_PackedNetlistSim, realm16, std::string{"realm:m=16,t=0"});
 
 BENCHMARK_CAPTURE(BM_Dct8x8, exact, std::string{"accurate"});
 BENCHMARK_CAPTURE(BM_Dct8x8, realm16_t8, std::string{"realm:m=16,t=8"});

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
   hw::StimulusProfile profile;
   profile.cycles = args.cycles;
+  profile.threads = args.threads;  // packed-engine block parallelism
   hw::CostModel cm{16, profile};
 
   std::printf("Table I — synthesis metrics (25%% toggle stimulus, %u vectors)\n",

@@ -35,17 +35,39 @@ struct FaultReport {
   std::vector<FaultImpact> worst_sites;  ///< up to 10, sorted worst first
 };
 
+/// Fault sites carried per packed sweep: lane 0 of the 64-lane simulator is
+/// the fault-free golden circuit, lanes 1..63 each carry one stuck-at site.
+inline constexpr std::size_t kFaultLanesPerSweep = 63;
+
 /// Simulates every (sampled) stuck-at site under `vectors` random input
 /// vectors, comparing the first output port's integer value against the
 /// fault-free golden run.  When the module has more than `max_sites` fault
 /// sites (2 per gate), a seeded sample of that size is analyzed.
+///
+/// Runs on the 64-lane packed engine: sites are processed in groups of
+/// kFaultLanesPerSweep against a shared broadcast stimulus, so the campaign
+/// costs O(sites/63 x vectors) netlist sweeps instead of O(sites x vectors).
+/// Groups are sharded over the persistent pool; `threads` (0 = all cores)
+/// never changes the report — per-site statistics are accumulated in
+/// stimulus order and reduced in site order, bit-identical to the scalar
+/// reference below.
 [[nodiscard]] FaultReport analyze_fault_impact(const Module& module, int vectors = 200,
                                                std::uint64_t seed = 0xFA017,
-                                               std::size_t max_sites = 2000);
+                                               std::size_t max_sites = 2000,
+                                               int threads = 0);
+
+/// The scalar single-lane implementation (one full netlist sweep per
+/// (site, vector) pair), kept as the bit-exact cross-check reference.
+[[nodiscard]] FaultReport analyze_fault_impact_reference(const Module& module,
+                                                         int vectors = 200,
+                                                         std::uint64_t seed = 0xFA017,
+                                                         std::size_t max_sites = 2000);
 
 /// Random-pattern ATPG with fault dropping: draws random input vectors,
 /// keeps only those that detect at least one not-yet-detected stuck-at
-/// fault, and stops at the coverage target or the pattern budget.  The
+/// fault, and stops at the coverage target or the pattern budget.  Each
+/// candidate is fault-simulated on the packed engine (63 undetected sites
+/// per sweep).  The
 /// result is a compact production test set for the netlist.  Run
 /// Module::prune() first — faults on dead gates are untestable by
 /// construction and only depress the coverage number.

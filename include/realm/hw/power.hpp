@@ -24,8 +24,12 @@ struct PowerReport {
 struct StimulusProfile {
   double toggle_rate = 0.25;   ///< per-bit probability of flipping each cycle
   double probability = 0.5;    ///< stationary P(bit = 1)
-  std::uint32_t cycles = 2000; ///< simulated vector pairs
+  std::uint32_t cycles = 2000; ///< simulated vector pairs (must be > 0)
   std::uint64_t seed = 0x9a7e5eedULL;
+  /// Gate-simulation parallelism of the packed engine (0 = all cores).  The
+  /// cycle stream is sharded into fixed-size blocks whose partition never
+  /// depends on this value, so the report is bit-identical for any setting.
+  int threads = 0;
   /// Count glitch transitions with the unit-delay TimedSimulator instead of
   /// functional toggles.  Off by default: our netlists keep ripple-carry
   /// adders (synthesis at 1 GHz would restructure them into log-depth
@@ -35,8 +39,18 @@ struct StimulusProfile {
 };
 
 /// Simulates `module` under the stimulus profile and returns its
-/// (uncalibrated) power estimate.
+/// (uncalibrated) power estimate.  The functional (non-glitch) path runs on
+/// the 64-lane packed engine (hw/packed_simulator.hpp) with the cycle stream
+/// sharded over the persistent thread pool; glitch counting stays on the
+/// scalar unit-delay simulator.  Throws std::invalid_argument for sequential
+/// modules or a zero-cycle profile.
 [[nodiscard]] PowerReport estimate_power(const Module& module,
                                          const StimulusProfile& profile = {});
+
+/// The pre-packed scalar implementation (one Simulator::eval per cycle),
+/// kept as the bit-exact cross-check reference: estimate_power must return
+/// the identical report for any thread count.
+[[nodiscard]] PowerReport estimate_power_reference(const Module& module,
+                                                   const StimulusProfile& profile = {});
 
 }  // namespace realm::hw

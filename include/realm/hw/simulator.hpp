@@ -3,6 +3,11 @@
 // Because Module guarantees gates appear in topological order, evaluation is
 // one linear sweep.  The simulator keeps the previous net values and counts
 // output toggles per gate, which feeds the activity-based power model.
+//
+// This scalar sweep is the *reference* back end: bulk workloads (power
+// sweeps, fault campaigns, exhaustive equivalence) run on the 64-lane
+// bit-parallel engine in packed_simulator.hpp, which is checked bit-for-bit
+// against the simulators here.
 
 #pragma once
 
@@ -17,7 +22,10 @@ class Simulator {
  public:
   explicit Simulator(const Module& module);
 
-  /// Drives input port `index` (in declaration order) with `value`.
+  /// Drives input port `index` (in declaration order) with `value`.  Values
+  /// with bits above the port width throw std::invalid_argument (they were
+  /// silently truncated once, which hid stimulus-generation bugs); the same
+  /// contract applies to every simulator back end, including the packed one.
   void set_input(std::size_t index, std::uint64_t value);
 
   /// Re-evaluates all gates; updates toggle counters (except on the very

@@ -6,13 +6,16 @@
 #include <stdexcept>
 
 #include "realm/hw/bdd.hpp"
+#include "realm/hw/packed_simulator.hpp"
 #include "realm/numeric/rng.hpp"
+#include "realm/numeric/thread_pool.hpp"
 
 namespace realm::hw {
 namespace {
 
 // Evaluate all gates with one gate output forced (gate_index == SIZE_MAX for
-// the golden run).  Returns the first output port's value.
+// the golden run).  Returns the first output port's value.  This scalar
+// sweep is the bit-exact reference the packed engine is checked against.
 std::uint64_t eval_with_fault(const Module& module, std::vector<std::uint8_t>& values,
                               std::size_t fault_gate, bool stuck_value) {
   const auto& gates = module.gates();
@@ -48,82 +51,76 @@ std::uint64_t eval_with_fault(const Module& module, std::vector<std::uint8_t>& v
   return v;
 }
 
-}  // namespace
-
-FaultReport analyze_fault_impact(const Module& module, int vectors, std::uint64_t seed,
-                                 std::size_t max_sites) {
+void validate_campaign_args(const Module& module, int vectors, const char* who) {
   if (module.is_sequential()) {
-    throw std::invalid_argument("analyze_fault_impact: combinational modules only");
+    throw std::invalid_argument(std::string{who} + ": combinational modules only");
   }
   if (module.outputs().empty() || module.gates().empty()) {
-    throw std::invalid_argument("analyze_fault_impact: need gates and an output");
+    throw std::invalid_argument(std::string{who} + ": need gates and an output");
   }
+  if (vectors <= 0) {
+    throw std::invalid_argument(std::string{who} + ": need at least one vector");
+  }
+}
 
-  // Enumerate (or sample) fault sites.
+struct Campaign {
   std::vector<FaultSite> sites;
-  sites.reserve(2 * module.gates().size());
+  std::vector<std::vector<std::uint64_t>> stimulus;
+};
+
+// Site enumeration/sampling and stimulus generation, shared by the packed
+// engine and the scalar reference so both consume the seed's RNG stream
+// identically (site sample first, then vectors).
+Campaign plan_campaign(const Module& module, int vectors, std::uint64_t seed,
+                       std::size_t max_sites) {
+  Campaign c;
+  c.sites.reserve(2 * module.gates().size());
   for (std::size_t gi = 0; gi < module.gates().size(); ++gi) {
-    sites.push_back({gi, false});
-    sites.push_back({gi, true});
+    c.sites.push_back({gi, false});
+    c.sites.push_back({gi, true});
   }
   num::Xoshiro256 rng{seed};
-  if (sites.size() > max_sites) {
+  if (c.sites.size() > max_sites) {
     // Seeded partial Fisher-Yates: the first max_sites entries are a sample.
     for (std::size_t i = 0; i < max_sites; ++i) {
-      std::swap(sites[i], sites[i + rng.below(sites.size() - i)]);
+      std::swap(c.sites[i], c.sites[i + rng.below(c.sites.size() - i)]);
     }
-    sites.resize(max_sites);
+    c.sites.resize(max_sites);
   }
 
-  // Input stimulus (shared across sites) and golden responses.
-  std::vector<std::vector<std::uint64_t>> stimulus(static_cast<std::size_t>(vectors));
-  for (auto& vec : stimulus) {
+  c.stimulus.resize(static_cast<std::size_t>(vectors));
+  for (auto& vec : c.stimulus) {
     vec.resize(module.inputs().size());
     for (std::size_t p = 0; p < vec.size(); ++p) {
       vec[p] = rng.below(std::uint64_t{1} << module.inputs()[p].bus.size());
     }
   }
-  std::vector<std::uint8_t> values(module.net_count(), 0);
-  values[kConst1] = 1;
-  const auto apply_inputs = [&](const std::vector<std::uint64_t>& vec) {
-    for (std::size_t p = 0; p < vec.size(); ++p) {
-      const Bus& bus = module.inputs()[p].bus;
-      for (std::size_t i = 0; i < bus.size(); ++i) {
-        values[bus[i]] = static_cast<std::uint8_t>((vec[p] >> i) & 1u);
-      }
-    }
-  };
-  std::vector<std::uint64_t> golden(stimulus.size());
-  for (std::size_t v = 0; v < stimulus.size(); ++v) {
-    apply_inputs(stimulus[v]);
-    golden[v] = eval_with_fault(module, values, static_cast<std::size_t>(-1), false);
-  }
+  return c;
+}
 
+// Per-site statistics accumulated in stimulus order (the same accumulation
+// order as the scalar reference, so the doubles match exactly).
+struct SiteStats {
+  int flips = 0;
+  double err_sum = 0.0;
+  double worst = 0.0;
+};
+
+FaultReport reduce_report(const Campaign& campaign, const std::vector<SiteStats>& stats,
+                          int vectors) {
   FaultReport report;
-  report.sites_analyzed = sites.size();
+  report.sites_analyzed = campaign.sites.size();
   std::vector<FaultImpact> impacts;
-  impacts.reserve(sites.size());
+  impacts.reserve(campaign.sites.size());
   double detected_error_sum = 0.0;
   std::size_t detected = 0;
-  for (const FaultSite& site : sites) {
+  for (std::size_t s = 0; s < campaign.sites.size(); ++s) {
     FaultImpact impact;
-    impact.site = site;
-    int flips = 0;
-    double err_sum = 0.0;
-    for (std::size_t v = 0; v < stimulus.size(); ++v) {
-      apply_inputs(stimulus[v]);
-      const std::uint64_t faulty =
-          eval_with_fault(module, values, site.gate_index, site.stuck_value);
-      if (faulty != golden[v]) ++flips;
-      const double denom = std::max<double>(1.0, static_cast<double>(golden[v]));
-      const double rel =
-          std::fabs(static_cast<double>(faulty) - static_cast<double>(golden[v])) / denom;
-      err_sum += rel;
-      impact.worst_rel_error = std::max(impact.worst_rel_error, rel);
-    }
-    impact.detect_rate = static_cast<double>(flips) / static_cast<double>(vectors);
-    impact.mean_rel_error = err_sum / static_cast<double>(vectors);
-    if (flips == 0) {
+    impact.site = campaign.sites[s];
+    impact.detect_rate = static_cast<double>(stats[s].flips) / static_cast<double>(vectors);
+    impact.mean_rel_error = stats[s].err_sum / static_cast<double>(vectors);
+    impact.worst_rel_error = stats[s].worst;
+    if (stats[s].flips == 0) {
       ++report.sites_undetected;
     } else {
       detected_error_sum += impact.mean_rel_error;
@@ -140,6 +137,91 @@ FaultReport analyze_fault_impact(const Module& module, int vectors, std::uint64_
   impacts.resize(std::min<std::size_t>(impacts.size(), 10));
   report.worst_sites = std::move(impacts);
   return report;
+}
+
+}  // namespace
+
+FaultReport analyze_fault_impact(const Module& module, int vectors, std::uint64_t seed,
+                                 std::size_t max_sites, int threads) {
+  validate_campaign_args(module, vectors, "analyze_fault_impact");
+  const Campaign campaign = plan_campaign(module, vectors, seed, max_sites);
+
+  // 63 fault lanes per sweep; lane 0 stays fault-free as the golden lane.
+  const std::size_t group_size = kFaultLanesPerSweep;
+  const std::size_t groups = (campaign.sites.size() + group_size - 1) / group_size;
+  std::vector<SiteStats> stats(campaign.sites.size());
+
+  num::ThreadPool::global().run(
+      groups, threads < 0 ? 1u : static_cast<unsigned>(threads),
+      [&](std::size_t grp) {
+        const std::size_t first = grp * group_size;
+        const std::size_t count =
+            std::min(group_size, campaign.sites.size() - first);
+        PackedSimulator sim{module};
+        for (std::size_t j = 0; j < count; ++j) {
+          const FaultSite& site = campaign.sites[first + j];
+          sim.force_gate(site.gate_index, std::uint64_t{1} << (j + 1),
+                         site.stuck_value);
+        }
+        for (const auto& vec : campaign.stimulus) {
+          for (std::size_t p = 0; p < vec.size(); ++p) {
+            sim.set_input_broadcast(p, vec[p]);
+          }
+          sim.eval();
+          const std::uint64_t golden = sim.output(0, 0);
+          const double dgolden = static_cast<double>(golden);
+          const double denom = std::max(1.0, dgolden);
+          for (std::size_t j = 0; j < count; ++j) {
+            const std::uint64_t faulty = sim.output(0, static_cast<unsigned>(j + 1));
+            SiteStats& st = stats[first + j];
+            if (faulty != golden) ++st.flips;
+            const double rel = std::fabs(static_cast<double>(faulty) - dgolden) / denom;
+            st.err_sum += rel;
+            st.worst = std::max(st.worst, rel);
+          }
+        }
+      });
+
+  return reduce_report(campaign, stats, vectors);
+}
+
+FaultReport analyze_fault_impact_reference(const Module& module, int vectors,
+                                           std::uint64_t seed, std::size_t max_sites) {
+  validate_campaign_args(module, vectors, "analyze_fault_impact_reference");
+  const Campaign campaign = plan_campaign(module, vectors, seed, max_sites);
+
+  std::vector<std::uint8_t> values(module.net_count(), 0);
+  values[kConst1] = 1;
+  const auto apply_inputs = [&](const std::vector<std::uint64_t>& vec) {
+    for (std::size_t p = 0; p < vec.size(); ++p) {
+      const Bus& bus = module.inputs()[p].bus;
+      for (std::size_t i = 0; i < bus.size(); ++i) {
+        values[bus[i]] = static_cast<std::uint8_t>((vec[p] >> i) & 1u);
+      }
+    }
+  };
+  std::vector<std::uint64_t> golden(campaign.stimulus.size());
+  for (std::size_t v = 0; v < campaign.stimulus.size(); ++v) {
+    apply_inputs(campaign.stimulus[v]);
+    golden[v] = eval_with_fault(module, values, static_cast<std::size_t>(-1), false);
+  }
+
+  std::vector<SiteStats> stats(campaign.sites.size());
+  for (std::size_t s = 0; s < campaign.sites.size(); ++s) {
+    const FaultSite& site = campaign.sites[s];
+    for (std::size_t v = 0; v < campaign.stimulus.size(); ++v) {
+      apply_inputs(campaign.stimulus[v]);
+      const std::uint64_t faulty =
+          eval_with_fault(module, values, site.gate_index, site.stuck_value);
+      if (faulty != golden[v]) ++stats[s].flips;
+      const double denom = std::max<double>(1.0, static_cast<double>(golden[v]));
+      const double rel =
+          std::fabs(static_cast<double>(faulty) - static_cast<double>(golden[v])) / denom;
+      stats[s].err_sum += rel;
+      stats[s].worst = std::max(stats[s].worst, rel);
+    }
+  }
+  return reduce_report(campaign, stats, vectors);
 }
 
 AtpgResult generate_tests(const Module& module, double target_coverage,
@@ -165,44 +247,55 @@ AtpgResult generate_tests(const Module& module, double target_coverage,
   result.faults_total = undetected.size();
 
   num::Xoshiro256 rng{seed};
-  std::vector<std::uint8_t> values(module.net_count(), 0);
-  values[kConst1] = 1;
-  const auto apply_inputs = [&](const std::vector<std::uint64_t>& vec) {
-    for (std::size_t p = 0; p < vec.size(); ++p) {
-      const Bus& bus = module.inputs()[p].bus;
-      for (std::size_t i = 0; i < bus.size(); ++i) {
-        values[bus[i]] = static_cast<std::uint8_t>((vec[p] >> i) & 1u);
-      }
-    }
-  };
-
   const auto target =
       static_cast<std::size_t>(target_coverage * static_cast<double>(result.faults_total));
+  PackedSimulator sim{module};
+  std::vector<std::uint8_t> detected_now;  // scratch, per candidate
   for (int cand = 0; cand < max_candidates && result.faults_detected < target; ++cand) {
     std::vector<std::uint64_t> vec(module.inputs().size());
     for (std::size_t p = 0; p < vec.size(); ++p) {
       vec[p] = rng.below(std::uint64_t{1} << module.inputs()[p].bus.size());
     }
-    apply_inputs(vec);
-    const std::uint64_t golden =
-        eval_with_fault(module, values, static_cast<std::size_t>(-1), false);
 
-    // Serial fault simulation with dropping.
+    // Packed fault simulation with dropping: lane 0 is golden, lanes 1..63
+    // carry the next 63 still-undetected faults; one sweep decides 63 faults
+    // where the scalar loop needed 63 sweeps.
+    detected_now.assign(undetected.size(), 0);
     bool kept = false;
-    for (std::size_t f = 0; f < undetected.size();) {
-      apply_inputs(vec);
-      const std::uint64_t faulty = eval_with_fault(
-          module, values, undetected[f].gate_index, undetected[f].stuck_value);
-      if (faulty != golden) {
-        undetected[f] = undetected.back();
-        undetected.pop_back();
-        ++result.faults_detected;
-        kept = true;
-      } else {
-        ++f;
+    for (std::size_t first = 0; first < undetected.size();
+         first += kFaultLanesPerSweep) {
+      const std::size_t count =
+          std::min<std::size_t>(kFaultLanesPerSweep, undetected.size() - first);
+      sim.clear_forces();
+      for (std::size_t j = 0; j < count; ++j) {
+        sim.force_gate(undetected[first + j].gate_index, std::uint64_t{1} << (j + 1),
+                       undetected[first + j].stuck_value);
+      }
+      for (std::size_t p = 0; p < vec.size(); ++p) sim.set_input_broadcast(p, vec[p]);
+      sim.eval();
+      const std::uint64_t golden = sim.output(0, 0);
+      for (std::size_t j = 0; j < count; ++j) {
+        if (sim.output(0, static_cast<unsigned>(j + 1)) != golden) {
+          detected_now[first + j] = 1;
+          kept = true;
+        }
       }
     }
-    if (kept) result.patterns.push_back(std::move(vec));
+
+    if (kept) {
+      // Stable compaction of the survivors (detection is per-fault
+      // independent, so the surviving *set* matches the scalar algorithm).
+      std::size_t w = 0;
+      for (std::size_t f = 0; f < undetected.size(); ++f) {
+        if (detected_now[f]) {
+          ++result.faults_detected;
+        } else {
+          undetected[w++] = undetected[f];
+        }
+      }
+      undetected.resize(w);
+      result.patterns.push_back(std::move(vec));
+    }
   }
   result.undetected = std::move(undetected);
   return result;

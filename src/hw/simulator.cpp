@@ -1,8 +1,22 @@
 #include "realm/hw/simulator.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace realm::hw {
+
+namespace {
+
+// A stimulus value with bits above the port width used to be silently
+// truncated, which hid operand-generation bugs; every simulator back end
+// (scalar, sequential, timed, packed) now rejects it.
+void check_input_range(const Bus& bus, std::uint64_t value, const char* who) {
+  if (bus.size() < 64 && (value >> bus.size()) != 0) {
+    throw std::invalid_argument(std::string{who} + ": value exceeds port width");
+  }
+}
+
+}  // namespace
 
 Simulator::Simulator(const Module& module) : module_{&module} {
   if (module.is_sequential()) {
@@ -18,6 +32,7 @@ void Simulator::set_input(std::size_t index, std::uint64_t value) {
   const auto& ports = module_->inputs();
   if (index >= ports.size()) throw std::out_of_range("Simulator::set_input");
   const Bus& bus = ports[index].bus;
+  check_input_range(bus, value, "Simulator::set_input");
   for (std::size_t i = 0; i < bus.size(); ++i) {
     values_[bus[i]] = static_cast<std::uint8_t>((value >> i) & 1u);
   }
@@ -92,6 +107,7 @@ void SequentialSimulator::set_input(std::size_t index, std::uint64_t value) {
   const auto& ports = module_->inputs();
   if (index >= ports.size()) throw std::out_of_range("SequentialSimulator::set_input");
   const Bus& bus = ports[index].bus;
+  check_input_range(bus, value, "SequentialSimulator::set_input");
   for (std::size_t i = 0; i < bus.size(); ++i) {
     values_[bus[i]] = static_cast<std::uint8_t>((value >> i) & 1u);
   }
@@ -198,6 +214,7 @@ void TimedSimulator::set_input(std::size_t index, std::uint64_t value) {
   const auto& ports = module_->inputs();
   if (index >= ports.size()) throw std::out_of_range("TimedSimulator::set_input");
   const Bus& bus = ports[index].bus;
+  check_input_range(bus, value, "TimedSimulator::set_input");
   for (std::size_t i = 0; i < bus.size(); ++i) {
     const auto bit = static_cast<std::uint8_t>((value >> i) & 1u);
     if (values_[bus[i]] != bit) {

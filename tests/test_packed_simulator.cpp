@@ -1,0 +1,263 @@
+#include "realm/hw/packed_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/faults.hpp"
+#include "realm/hw/power.hpp"
+#include "realm/hw/simulator.hpp"
+#include "realm/multipliers/registry.hpp"
+#include "realm/numeric/rng.hpp"
+
+using namespace realm;
+using namespace realm::hw;
+namespace num = realm::num;
+
+namespace {
+
+// Registered circuit specs with distinct gate mixes (Wallace trees, LOD
+// chains, muxes, truncation) — the packed engine must agree with the scalar
+// Simulator on every one of them.
+const std::vector<const char*>& circuit_specs() {
+  static const std::vector<const char*> specs = {
+      "accurate",      "calm",     "mbm:t=0",  "realm:m=16,t=0",
+      "realm:m=4,t=9", "drum:k=6", "ssm:m=8",  "essm:m=8",
+      "am1:nb=9",      "intalp:l=2", "udm",    "implm"};
+  return specs;
+}
+
+}  // namespace
+
+TEST(PackedSimulator, LanesMatchScalarOnEveryRegisteredCircuit) {
+  for (const char* spec : circuit_specs()) {
+    const Module mod = build_circuit(spec, 16);
+    PackedSimulator packed{mod};
+    Simulator scalar{mod};
+    num::Xoshiro256 rng{0xBEEF};
+    std::uint64_t a[PackedSimulator::kLanes];
+    std::uint64_t b[PackedSimulator::kLanes];
+    for (unsigned l = 0; l < PackedSimulator::kLanes; ++l) {
+      a[l] = rng.below(65536);
+      b[l] = rng.below(65536);
+      packed.set_input_lane(0, l, a[l]);
+      packed.set_input_lane(1, l, b[l]);
+    }
+    packed.eval();
+    for (unsigned l = 0; l < PackedSimulator::kLanes; ++l) {
+      EXPECT_EQ(packed.output(0, l), scalar.run({a[l], b[l]}))
+          << spec << " lane " << l;
+      // Spot-check the internal nets too, not just the product.
+      if (l == 0 || l == 31 || l == 63) {
+        for (const Gate& g : mod.gates()) {
+          EXPECT_EQ((packed.word(g.out) >> l) & 1u, scalar.read({g.out}))
+              << spec << " lane " << l << " net " << g.out;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedSimulator, BroadcastAndWordSettersAgreeWithLaneSetter) {
+  const Module mod = build_circuit("realm:m=4,t=0", 8);
+  PackedSimulator by_lane{mod}, by_bcast{mod}, by_word{mod};
+  const std::uint64_t a = 0xA5, b = 0x3C;
+  for (unsigned l = 0; l < PackedSimulator::kLanes; ++l) {
+    by_lane.set_input_lane(0, l, a);
+    by_lane.set_input_lane(1, l, b);
+  }
+  by_bcast.set_input_broadcast(0, a);
+  by_bcast.set_input_broadcast(1, b);
+  for (std::size_t i = 0; i < 8; ++i) {
+    by_word.set_input_word(0, i, ((a >> i) & 1u) ? ~std::uint64_t{0} : 0);
+    by_word.set_input_word(1, i, ((b >> i) & 1u) ? ~std::uint64_t{0} : 0);
+  }
+  by_lane.eval();
+  by_bcast.eval();
+  by_word.eval();
+  for (const Gate& g : mod.gates()) {
+    EXPECT_EQ(by_lane.word(g.out), by_bcast.word(g.out));
+    EXPECT_EQ(by_lane.word(g.out), by_word.word(g.out));
+  }
+}
+
+TEST(PackedSimulator, RejectsBadArguments) {
+  const Module seq = [] {
+    Module m{"seq"};
+    const Bus d = m.add_input("d", 1);
+    m.add_output("q", {m.add_register(d[0])});
+    return m;
+  }();
+  EXPECT_THROW((PackedSimulator{seq}), std::invalid_argument);
+
+  const Module mod = build_circuit("accurate", 8);
+  PackedSimulator sim{mod};
+  EXPECT_THROW(sim.set_input_lane(2, 0, 0), std::out_of_range);
+  EXPECT_THROW(sim.set_input_lane(0, 64, 0), std::out_of_range);
+  EXPECT_THROW(sim.set_input_broadcast(0, 0x100), std::invalid_argument);
+  EXPECT_THROW(sim.set_input_lane(0, 0, 0x100), std::invalid_argument);
+  EXPECT_THROW(sim.set_input_word(0, 8, 0), std::out_of_range);
+  EXPECT_THROW(sim.eval_cycles(0), std::invalid_argument);
+  EXPECT_THROW(sim.eval_cycles(65), std::invalid_argument);
+  EXPECT_THROW((void)sim.output(1, 0), std::out_of_range);
+  EXPECT_THROW((void)sim.output(0, 64), std::out_of_range);
+  EXPECT_THROW(sim.force_gate(mod.gates().size(), ~std::uint64_t{0}, true),
+               std::out_of_range);
+}
+
+TEST(PackedSimulator, TimePackedTogglesMatchScalarExactly) {
+  // Feed the identical 157-cycle stimulus stream to both engines; the packed
+  // one consumes it in uneven chunks (cross-word boundary bits included).
+  const Module mod = build_circuit("realm:m=16,t=0", 16);
+  Simulator scalar{mod};
+  PackedSimulator packed{mod};
+  num::Xoshiro256 rng{7};
+  std::vector<std::uint64_t> as, bs;
+  for (int i = 0; i < 157; ++i) {
+    as.push_back(rng.below(65536));
+    bs.push_back(rng.below(65536));
+  }
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    scalar.set_input(0, as[i]);
+    scalar.set_input(1, bs[i]);
+    scalar.eval();
+  }
+  const unsigned chunks[] = {64, 1, 30, 62};
+  std::size_t at = 0;
+  for (const unsigned lanes : chunks) {
+    for (unsigned l = 0; l < lanes; ++l, ++at) {
+      packed.set_input_lane(0, l, as[at]);
+      packed.set_input_lane(1, l, bs[at]);
+    }
+    packed.eval_cycles(lanes);
+  }
+  ASSERT_EQ(at, as.size());
+  EXPECT_EQ(packed.cycles(), scalar.cycles());
+  for (std::size_t g = 0; g < mod.gates().size(); ++g) {
+    EXPECT_EQ(packed.toggles(g), scalar.toggles(g)) << "gate " << g;
+  }
+  packed.reset_activity();
+  EXPECT_EQ(packed.cycles(), 0u);
+  EXPECT_EQ(packed.toggles(0), 0u);
+}
+
+TEST(PackedSimulator, ForcedLanesStickWhileOthersEvaluate) {
+  Module m{"t"};
+  const Bus a = m.add_input("a", 2);
+  m.add_output("o", {m.and2(a[0], a[1])});
+  PackedSimulator sim{m};
+  sim.force_gate(0, 0b10, true);   // lane 1 stuck-at-1
+  sim.force_gate(0, 0b100, false); // lane 2 stuck-at-0
+  sim.set_input_broadcast(0, 0b11);
+  sim.eval();
+  EXPECT_EQ(sim.output(0, 0), 1u);
+  EXPECT_EQ(sim.output(0, 1), 1u);
+  EXPECT_EQ(sim.output(0, 2), 0u);  // AND of 1,1 forced low
+  sim.set_input_broadcast(0, 0b01);
+  sim.eval();
+  EXPECT_EQ(sim.output(0, 0), 0u);
+  EXPECT_EQ(sim.output(0, 1), 1u);  // forced high despite 0 input
+  sim.clear_forces();
+  sim.eval();
+  EXPECT_EQ(sim.output(0, 1), 0u);
+}
+
+TEST(PackedPower, BitIdenticalToScalarReferenceForAnyThreadCount) {
+  for (const char* spec : {"accurate", "realm:m=16,t=0", "drum:k=6"}) {
+    const Module mod = build_circuit(spec, 16);
+    StimulusProfile p;
+    p.cycles = 3000;  // spans several 1024-cycle blocks, plus a partial one
+    p.threads = 1;
+    const auto ref = estimate_power_reference(mod, p);
+    const auto one = estimate_power(mod, p);
+    p.threads = 3;
+    const auto many = estimate_power(mod, p);
+    EXPECT_EQ(ref.dynamic, one.dynamic) << spec;
+    EXPECT_EQ(ref.leakage, one.leakage) << spec;
+    EXPECT_EQ(one.dynamic, many.dynamic) << spec;
+    EXPECT_EQ(one.leakage, many.leakage) << spec;
+  }
+}
+
+TEST(PackedFaults, CampaignBitIdenticalToScalarReferenceForAnyThreadCount) {
+  const Module mod = build_circuit("realm:m=4,t=0", 8);
+  const auto ref = analyze_fault_impact_reference(mod, 40, 0xFA, 200);
+  const auto one = analyze_fault_impact(mod, 40, 0xFA, 200, 1);
+  const auto many = analyze_fault_impact(mod, 40, 0xFA, 200, 4);
+  for (const auto* r : {&one, &many}) {
+    EXPECT_EQ(ref.sites_analyzed, r->sites_analyzed);
+    EXPECT_EQ(ref.sites_undetected, r->sites_undetected);
+    EXPECT_EQ(ref.mean_rel_error, r->mean_rel_error);
+    EXPECT_EQ(ref.worst_rel_error, r->worst_rel_error);
+    ASSERT_EQ(ref.worst_sites.size(), r->worst_sites.size());
+    for (std::size_t i = 0; i < ref.worst_sites.size(); ++i) {
+      EXPECT_EQ(ref.worst_sites[i].site.gate_index, r->worst_sites[i].site.gate_index);
+      EXPECT_EQ(ref.worst_sites[i].site.stuck_value, r->worst_sites[i].site.stuck_value);
+      EXPECT_EQ(ref.worst_sites[i].detect_rate, r->worst_sites[i].detect_rate);
+      EXPECT_EQ(ref.worst_sites[i].mean_rel_error, r->worst_sites[i].mean_rel_error);
+      EXPECT_EQ(ref.worst_sites[i].worst_rel_error, r->worst_sites[i].worst_rel_error);
+    }
+  }
+}
+
+TEST(Equivalence, Exhaustive8x8RealmCircuitMatchesModel) {
+  const Module mod = build_circuit("realm:m=4,t=0", 8);
+  const auto model = mult::make_multiplier("realm:m=4,t=0", 8);
+  const auto r = check_exhaustive_vs_model(mod, *model);
+  EXPECT_EQ(r.pairs_checked, 65536u);
+  EXPECT_TRUE(r.equivalent()) << r.mismatches << " mismatches";
+}
+
+TEST(Equivalence, ThreadCountNeverChangesTheResult) {
+  // Force a disagreement so mismatch counts and recorded examples are
+  // non-trivial, then check thread invariance on them.
+  const Module mod = build_circuit("realm:m=4,t=0", 8);
+  const auto exact = mult::make_multiplier("accurate", 8);
+  const auto one = check_exhaustive_vs_model(mod, *exact, 1);
+  const auto many = check_exhaustive_vs_model(mod, *exact, 4);
+  EXPECT_GT(one.mismatches, 0u);  // REALM is approximate; it must differ
+  EXPECT_EQ(one.pairs_checked, many.pairs_checked);
+  EXPECT_EQ(one.mismatches, many.mismatches);
+  ASSERT_EQ(one.examples.size(), many.examples.size());
+  for (std::size_t i = 0; i < one.examples.size(); ++i) {
+    EXPECT_EQ(one.examples[i].a, many.examples[i].a);
+    EXPECT_EQ(one.examples[i].b, many.examples[i].b);
+    EXPECT_EQ(one.examples[i].circuit, many.examples[i].circuit);
+    EXPECT_EQ(one.examples[i].model, many.examples[i].model);
+  }
+}
+
+TEST(Equivalence, RandomCheckAgreesOnRegisteredCircuits) {
+  for (const char* spec : {"accurate", "realm:m=16,t=0", "drum:k=6", "ssm:m=8"}) {
+    const Module mod = build_circuit(spec, 16);
+    const auto model = mult::make_multiplier(spec, 16);
+    const auto r = check_random_vs_model(mod, *model, 5000);
+    EXPECT_EQ(r.pairs_checked, 5000u);
+    EXPECT_TRUE(r.equivalent()) << spec << ": " << r.mismatches << " mismatches";
+  }
+}
+
+TEST(Equivalence, DetectsAnInjectedFault) {
+  const Module mod = build_circuit("realm:m=4,t=0", 8);
+  const auto model = mult::make_multiplier("realm:m=4,t=0", 8);
+  // Some sites are structurally redundant, so probe a handful of gates and
+  // require that at least one injected stuck-at shows up as a mismatch.
+  std::uint64_t detected = 0;
+  for (std::size_t g = 0; g < 8 && g < mod.gates().size(); ++g) {
+    for (const bool stuck : {false, true}) {
+      const Module faulty = inject_fault(mod, {g, stuck});
+      detected += check_exhaustive_vs_model(faulty, *model).mismatches;
+    }
+  }
+  EXPECT_GT(detected, 0u);
+}
+
+TEST(Equivalence, RejectsOversizedExhaustiveSweep) {
+  const Module mod = build_circuit("accurate", 16);  // 2^32 pairs
+  const auto model = mult::make_multiplier("accurate", 16);
+  EXPECT_THROW((void)check_exhaustive_vs_model(mod, *model), std::invalid_argument);
+  EXPECT_THROW((void)check_random_vs_model(mod, *model, 0), std::invalid_argument);
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "realm/hw/circuits.hpp"
 
 using namespace realm::hw;
@@ -22,6 +24,27 @@ TEST(Power, DeterministicForSeed) {
   const auto b = estimate_power(m, quick());
   EXPECT_EQ(a.dynamic, b.dynamic);
   EXPECT_EQ(a.leakage, b.leakage);
+}
+
+TEST(Power, ZeroCycleProfileIsRejected) {
+  const Module m = build_circuit("calm", 16);
+  StimulusProfile p = quick();
+  p.cycles = 0;
+  EXPECT_THROW((void)estimate_power(m, p), std::invalid_argument);
+  EXPECT_THROW((void)estimate_power_reference(m, p), std::invalid_argument);
+}
+
+TEST(Power, PackedEngineMatchesScalarReference) {
+  const Module m = build_circuit("realm:m=16,t=0", 16);
+  StimulusProfile p = quick();
+  p.cycles = 1100;  // one full 1024-cycle block plus a partial tail
+  const auto ref = estimate_power_reference(m, p);
+  for (const int threads : {1, 2, 5}) {
+    p.threads = threads;
+    const auto got = estimate_power(m, p);
+    EXPECT_EQ(ref.dynamic, got.dynamic) << threads << " threads";
+    EXPECT_EQ(ref.leakage, got.leakage) << threads << " threads";
+  }
 }
 
 TEST(Power, ZeroToggleRateMeansZeroDynamic) {

@@ -73,6 +73,26 @@ TEST(Simulator, ErrorsOnBadIndices) {
   EXPECT_THROW((void)sim.run({1, 2}), std::invalid_argument);
 }
 
+TEST(Simulator, RejectsValuesWiderThanThePort) {
+  // Out-of-range stimulus used to be silently truncated to the bus width —
+  // a masked caller bug.  It is now a hard error on every simulator.
+  Module m{"t"};
+  const Bus a = m.add_input("a", 4);
+  m.add_output("o", {m.and2(a[0], a[3])});
+  Simulator sim{m};
+  EXPECT_THROW(sim.set_input(0, 0x10), std::invalid_argument);
+  EXPECT_NO_THROW(sim.set_input(0, 0xF));
+  TimedSimulator timed{m};
+  EXPECT_THROW(timed.set_input(0, 0x10), std::invalid_argument);
+
+  Module s{"seq"};
+  const Bus d = s.add_input("d", 2);
+  s.add_output("q", {s.add_register(d[0])});
+  SequentialSimulator seq{s};
+  EXPECT_THROW(seq.set_input(0, 4), std::invalid_argument);
+  EXPECT_NO_THROW(seq.set_input(0, 3));
+}
+
 TEST(TimedSimulator, SettlesToSameOutputsAsZeroDelay) {
   num::Xoshiro256 rng{17};
   Module m{"t"};
