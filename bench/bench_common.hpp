@@ -1,5 +1,6 @@
-// Shared helpers for the reproduction benches: flag parsing and the paper's
-// reference numbers for side-by-side reporting.
+// Shared helpers for the reproduction benches: flag parsing, the unified
+// measurement/trace output path, and the paper's reference numbers for
+// side-by-side reporting.
 
 #pragma once
 
@@ -9,6 +10,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "realm/obs/metrics_sink.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace realm::bench {
 
@@ -22,6 +26,8 @@ struct Args {
   int image_size = 512;                            ///< JPEG evaluation images
   int threads = 0;  ///< parallelism (MC shards / gate-sim blocks); 0 = all cores
   bool full = false;  ///< use the paper's full 2^24 sample budget
+  std::string trace_path;  ///< --trace=PATH: record spans, export Chrome JSON
+  std::string json_path;   ///< --json=PATH: override the bench's BENCH_*.json
 
   /// Strict decimal parse: the whole value must be digits (strtoull's
   /// default of accepting "12abc" as 12 — or "abc" as 0 — hid typos).
@@ -77,6 +83,18 @@ struct Args {
       } else if (arg.rfind("--threads=", 0) == 0) {
         a.threads = static_cast<int>(
             parse_ranged("--threads", val("--threads="), 0, 1u << 16));
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        a.trace_path = val("--trace=");
+        if (a.trace_path.empty()) {
+          std::fprintf(stderr, "bad value for --trace: expected a file path\n");
+          std::exit(2);
+        }
+      } else if (arg.rfind("--json=", 0) == 0) {
+        a.json_path = val("--json=");
+        if (a.json_path.empty()) {
+          std::fprintf(stderr, "bad value for --json: expected a file path\n");
+          std::exit(2);
+        }
       } else if (arg == "--full") {
         a.full = true;
         a.samples = std::uint64_t{1} << 24;  // the paper's budget
@@ -84,16 +102,38 @@ struct Args {
       } else if (arg == "--help") {
         std::printf(
             "flags: --samples=N --cycles=N --vectors=N --image-size=N "
-            "--threads=N --full\n");
+            "--threads=N --full --trace=PATH --json=PATH\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
         std::exit(2);
       }
     }
+    // REALM_TRACE=path is the env-var equivalent of --trace=path (the
+    // explicit flag wins); REALM_TRACE=1 merely enables recording.
+    if (a.trace_path.empty()) {
+      if (const char* env = obs::trace_env_path()) a.trace_path = env;
+    }
+    if (!a.trace_path.empty()) obs::set_tracing(true);
     return a;
   }
 };
+
+/// The single exit path for bench measurements: writes the sink (with the
+/// counter/gauge/span snapshot) to --json=PATH or the bench's default
+/// BENCH_*.json, and — when tracing was requested — the Chrome trace next to
+/// it.  Every bench that used to hand-roll snprintf JSON now funnels here.
+inline void write_outputs(const Args& args, const obs::MetricsSink& sink,
+                          const std::string& default_json) {
+  const std::string& json_path = args.json_path.empty() ? default_json : args.json_path;
+  sink.write(json_path);
+  std::printf("measurements written to %s\n", json_path.c_str());
+  if (!args.trace_path.empty()) {
+    obs::write_chrome_trace(args.trace_path);
+    std::printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                args.trace_path.c_str());
+  }
+}
 
 inline void print_rule(int width = 118) {
   for (int i = 0; i < width; ++i) std::putchar('-');

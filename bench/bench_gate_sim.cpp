@@ -8,8 +8,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -18,6 +16,7 @@
 #include "realm/hw/packed_simulator.hpp"
 #include "realm/hw/power.hpp"
 #include "realm/multipliers/registry.hpp"
+#include "realm/obs/metrics_sink.hpp"
 
 using namespace realm;
 
@@ -134,44 +133,30 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(equiv.pairs_checked),
               equiv.equivalent() ? "equivalent" : "MISMATCH", equiv_pps / 1e6);
 
-  std::filesystem::create_directories("bench_out");
-  std::ofstream js{"bench_out/BENCH_gate_sim.json"};
-  char buf[2048];
-  std::snprintf(buf, sizeof buf,
-                "{\n"
-                "  \"bench\": \"gate_sim\",\n"
-                "  \"config\": \"%s\",\n"
-                "  \"gates\": %zu,\n"
-                "  \"cycles\": %u,\n"
-                "  \"threads\": %d,\n"
-                "  \"power_scalar_cps\": %.0f,\n"
-                "  \"power_packed_cps_1t\": %.0f,\n"
-                "  \"power_packed_cps_nt\": %.0f,\n"
-                "  \"power_speedup_1t\": %.3f,\n"
-                "  \"power_speedup_nt\": %.3f,\n"
-                "  \"power_bit_identical\": %s,\n"
-                "  \"fault_sites\": %zu,\n"
-                "  \"fault_vectors\": %d,\n"
-                "  \"fault_scalar_sps\": %.1f,\n"
-                "  \"fault_packed_sps_1t\": %.1f,\n"
-                "  \"fault_packed_sps_nt\": %.1f,\n"
-                "  \"fault_speedup_1t\": %.3f,\n"
-                "  \"fault_speedup_nt\": %.3f,\n"
-                "  \"fault_bit_identical\": %s,\n"
-                "  \"equiv_pairs\": %llu,\n"
-                "  \"equiv_pairs_per_s\": %.0f,\n"
-                "  \"equiv_ok\": %s\n"
-                "}\n",
-                spec, mod.gates().size(), args.cycles, nt, power_scalar,
-                power_packed_1t, power_packed_nt, power_packed_1t / power_scalar,
-                power_packed_nt / power_scalar, power_identical ? "true" : "false",
-                fault_scalar_report.sites_analyzed, vectors, fault_scalar,
-                fault_packed_1t, fault_packed_nt, fault_packed_1t / fault_scalar,
-                fault_packed_nt / fault_scalar, fault_identical ? "true" : "false",
-                static_cast<unsigned long long>(equiv.pairs_checked), equiv_pps,
-                equiv.equivalent() ? "true" : "false");
-  js << buf;
-  std::printf("\nmeasurements written to bench_out/BENCH_gate_sim.json\n");
+  obs::MetricsSink sink{"gate_sim"};
+  sink.meta("config", spec);
+  sink.meta("gates", mod.gates().size());
+  sink.meta("cycles", args.cycles);
+  sink.meta("threads", nt);
+  sink.metric("power_scalar_cps", power_scalar);
+  sink.metric("power_packed_cps_1t", power_packed_1t);
+  sink.metric("power_packed_cps_nt", power_packed_nt);
+  sink.metric("power_speedup_1t", power_packed_1t / power_scalar);
+  sink.metric("power_speedup_nt", power_packed_nt / power_scalar);
+  sink.metric("power_bit_identical", power_identical);
+  sink.metric("fault_sites", fault_scalar_report.sites_analyzed);
+  sink.metric("fault_vectors", vectors);
+  sink.metric("fault_scalar_sps", fault_scalar);
+  sink.metric("fault_packed_sps_1t", fault_packed_1t);
+  sink.metric("fault_packed_sps_nt", fault_packed_nt);
+  sink.metric("fault_speedup_1t", fault_packed_1t / fault_scalar);
+  sink.metric("fault_speedup_nt", fault_packed_nt / fault_scalar);
+  sink.metric("fault_bit_identical", fault_identical);
+  sink.metric("equiv_pairs", equiv.pairs_checked);
+  sink.metric("equiv_pairs_per_s", equiv_pps);
+  sink.metric("equiv_ok", equiv.equivalent());
+  std::printf("\n");
+  bench::write_outputs(args, sink, "bench_out/BENCH_gate_sim.json");
 
   if (!power_identical || !fault_identical || !equiv.equivalent()) {
     std::fprintf(stderr, "ERROR: packed engine diverged from the scalar reference\n");

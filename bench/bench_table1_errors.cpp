@@ -10,8 +10,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -19,6 +17,7 @@
 #include "realm/error/eval_engine.hpp"
 #include "realm/error/monte_carlo.hpp"
 #include "realm/multipliers/registry.hpp"
+#include "realm/obs/metrics_sink.hpp"
 
 using namespace realm;
 
@@ -47,7 +46,7 @@ double measure_sps(std::uint64_t samples, Fn&& fn) {
   return static_cast<double>(samples) / best;
 }
 
-void bench_eval_engine(std::uint64_t samples, int threads) {
+void bench_eval_engine(std::uint64_t samples, int threads, obs::MetricsSink& sink) {
   const char* spec = "realm:m=16,t=0";  // REALM16, the paper's headline config
   const auto model = mult::make_multiplier(spec, 16);
 
@@ -76,27 +75,15 @@ void bench_eval_engine(std::uint64_t samples, int threads) {
   std::printf("  speedup: %.2fx (1 thread), %.2fx (%d threads)\n", batched_1t / scalar_1t,
               batched_nt / scalar_nt, nt);
 
-  std::filesystem::create_directories("bench_out");
-  std::ofstream js{"bench_out/BENCH_eval_engine.json"};
-  char buf[1024];
-  std::snprintf(buf, sizeof buf,
-                "{\n"
-                "  \"bench\": \"eval_engine\",\n"
-                "  \"config\": \"%s\",\n"
-                "  \"samples\": %llu,\n"
-                "  \"threads\": %d,\n"
-                "  \"scalar_virtual_sps_1t\": %.0f,\n"
-                "  \"scalar_virtual_sps_nt\": %.0f,\n"
-                "  \"batched_sps_1t\": %.0f,\n"
-                "  \"batched_sps_nt\": %.0f,\n"
-                "  \"speedup_1t\": %.3f,\n"
-                "  \"speedup_nt\": %.3f\n"
-                "}\n",
-                spec, static_cast<unsigned long long>(samples), nt, scalar_1t,
-                scalar_nt, batched_1t, batched_nt, batched_1t / scalar_1t,
-                batched_nt / scalar_nt);
-  js << buf;
-  std::printf("engine measurements written to bench_out/BENCH_eval_engine.json\n");
+  sink.meta("config", spec);
+  sink.meta("samples", samples);
+  sink.meta("threads", nt);
+  sink.metric("scalar_virtual_sps_1t", scalar_1t);
+  sink.metric("scalar_virtual_sps_nt", scalar_nt);
+  sink.metric("batched_sps_1t", batched_1t);
+  sink.metric("batched_sps_nt", batched_nt);
+  sink.metric("speedup_1t", batched_1t / scalar_1t);
+  sink.metric("speedup_nt", batched_nt / scalar_nt);
 }
 
 }  // namespace
@@ -130,6 +117,8 @@ int main(int argc, char** argv) {
   bench::print_rule();
   std::printf("note: bracketed values are Table I of the paper; see EXPERIMENTS.md\n");
 
-  bench_eval_engine(args.samples, args.threads);
+  obs::MetricsSink sink{"eval_engine"};
+  bench_eval_engine(args.samples, args.threads, sink);
+  bench::write_outputs(args, sink, "bench_out/BENCH_eval_engine.json");
   return 0;
 }

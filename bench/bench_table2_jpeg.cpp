@@ -12,6 +12,7 @@
 #include "realm/jpeg/quality.hpp"
 #include "realm/jpeg/synthetic.hpp"
 #include "realm/multipliers/registry.hpp"
+#include "realm/obs/metrics_sink.hpp"
 
 using namespace realm;
 
@@ -63,5 +64,17 @@ int main(int argc, char** argv) {
   }
   std::printf("note: the paper's claim is relative — REALM within ~0.4 dB of accurate,\n"
               "other log designs >2 dB worse; absolute PSNR depends on image content.\n");
+
+  obs::MetricsSink sink{"table2_jpeg"};
+  sink.meta("quality", 50);
+  sink.meta("image_size", args.image_size);
+  for (std::size_t ii = 0; ii < images.size(); ++ii) {
+    for (std::size_t si = 0; si < specs.size(); ++si) {
+      sink.metric("psnr/" + std::string{images[ii].name} + "/" + specs[si],
+                  psnr[ii][si]);
+    }
+  }
+  std::printf("\n");
+  bench::write_outputs(args, sink, "bench_out/BENCH_table2_jpeg.json");
   return 0;
 }

@@ -1,0 +1,86 @@
+// Unified bench measurement emitter.
+//
+// Every bench used to hand-roll its own snprintf JSON; MetricsSink is the
+// single code path that replaces them.  A sink collects free-form metadata
+// and numeric results during the run, and write()/to_json() wraps them —
+// together with a snapshot of the global counter table, gauges and span
+// aggregates (trace.hpp) — into one schema-stable document:
+//
+//   {
+//     "schema": "realm-bench-v2",
+//     "meta":     { "bench": ..., caller metadata ... },
+//     "metrics":  { caller results, insertion order preserved ... },
+//     "counters": { every obs::Counter, zero or not ... },
+//     "gauges":   { every obs::Gauge ... },
+//     "spans":    { "mc/shard": {"count":..,"total_us":..,...}, ... }
+//   }
+//
+// "counters" always lists the full catalog so consumers can diff runs
+// without key-existence churn; "spans" is empty unless tracing was on.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace realm::obs {
+
+/// Tagged value for JSON emission; implicit constructors let call sites pass
+/// native types (sink.metric("speedup", 5.2)).
+class JsonValue {
+ public:
+  JsonValue(const char* s) : kind_{Kind::kString}, str_{s} {}
+  JsonValue(std::string s) : kind_{Kind::kString}, str_{std::move(s)} {}
+  JsonValue(double v) : kind_{Kind::kDouble}, num_{v} {}
+  JsonValue(bool v) : kind_{Kind::kBool}, b_{v} {}
+  JsonValue(int v) : kind_{Kind::kInt}, i_{v} {}
+  JsonValue(unsigned v) : kind_{Kind::kUInt}, u_{v} {}
+  JsonValue(long v) : kind_{Kind::kInt}, i_{v} {}
+  JsonValue(unsigned long v) : kind_{Kind::kUInt}, u_{v} {}
+  JsonValue(long long v) : kind_{Kind::kInt}, i_{static_cast<long>(v)} {}
+  JsonValue(unsigned long long v) : kind_{Kind::kUInt}, u_{static_cast<unsigned long>(v)} {}
+
+  /// The value rendered as a JSON token (quoted/escaped for strings).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  enum class Kind { kString, kDouble, kInt, kUInt, kBool };
+  Kind kind_;
+  std::string str_;
+  double num_ = 0.0;
+  std::int64_t i_ = 0;
+  std::uint64_t u_ = 0;
+  bool b_ = false;
+};
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+class MetricsSink {
+ public:
+  /// `bench` becomes meta.bench and identifies the producing harness.
+  explicit MetricsSink(std::string bench);
+
+  /// Run description (configuration, budgets, host facts).  Insertion order
+  /// is preserved; re-using a key appends a second entry — don't.
+  void meta(const std::string& key, JsonValue value);
+
+  /// A measured result.
+  void metric(const std::string& key, JsonValue value);
+
+  /// Full document, including the counter/gauge/span snapshot taken now.
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json() to a file, creating parent directories.  Throws
+  /// std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, JsonValue>> meta_;
+  std::vector<std::pair<std::string, JsonValue>> metrics_;
+};
+
+}  // namespace realm::obs

@@ -8,23 +8,32 @@
 #include <tuple>
 
 #include "realm/numeric/bits.hpp"
+#include "realm/obs/counters.hpp"
 
 namespace realm::core {
 
 std::shared_ptr<const SegmentLut> SegmentLut::shared(int m, int q, Formulation f) {
   using Key = std::tuple<int, int, int>;
   static std::mutex mu;
-  static std::map<Key, std::weak_ptr<const SegmentLut>> cache;
+  // Strong cache: a derived table lives for the process.  Each table is a
+  // few KB and the key space is the handful of (M, q, formulation) combos a
+  // run touches, while re-derivation costs a dilog quadrature per segment —
+  // the weak_ptr cache this replaces expired between the sequential
+  // construct-use-destroy iterations of every sweep (Table I, DSE) and so
+  // never actually served a hit.
+  static std::map<Key, std::shared_ptr<const SegmentLut>> cache;
 
   const Key key{m, q, static_cast<int>(f)};
   std::lock_guard lock{mu};
   const auto it = cache.find(key);
   if (it != cache.end()) {
-    if (auto live = it->second.lock()) return live;
+    obs::counter_add(obs::Counter::kLutCacheHits, 1);
+    return it->second;
   }
   // Construct outside the map so a throwing constructor (invalid m/q) leaves
   // the cache untouched.
   auto fresh = std::make_shared<const SegmentLut>(m, q, f);
+  obs::counter_add(obs::Counter::kLutCacheMisses, 1);
   cache[key] = fresh;
   return fresh;
 }

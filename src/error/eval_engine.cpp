@@ -10,6 +10,8 @@
 #include "realm/numeric/rng.hpp"
 #include "realm/numeric/simd.hpp"
 #include "realm/numeric/thread_pool.hpp"
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace realm::err {
 namespace {
@@ -160,6 +162,7 @@ ErrorAccumulator stats_to_acc(const BlockStats& s) noexcept {
 // runs the shard.
 ErrorAccumulator run_mc_shard(const Multiplier& design, std::uint64_t samples,
                               std::uint64_t seed, Histogram* hist) {
+  REALM_TRACE_SCOPE("mc/shard");
   const int shift = 64 - design.width();
   Scratch& buf = scratch();
   ErrorAccumulator acc;
@@ -179,6 +182,8 @@ ErrorAccumulator run_mc_shard(const Multiplier& design, std::uint64_t samples,
     }
     pair0 += block;
   }
+  obs::counter_add(obs::Counter::kMcSamples, samples);
+  obs::counter_add(obs::Counter::kMcShards, 1);
   return acc;
 }
 
@@ -186,6 +191,7 @@ ErrorAccumulator run_mc_shard(const Multiplier& design, std::uint64_t samples,
 
 ErrorMetrics monte_carlo_batched(const Multiplier& design,
                                  const MonteCarloOptions& opts, Histogram* hist) {
+  REALM_TRACE_SCOPE("mc/run");
   const std::uint64_t shards = mc_shard_count(opts.samples);
 
   // Seed-stability invariant: shard seeds come from the splitmix64 sequence
@@ -215,6 +221,7 @@ ErrorMetrics monte_carlo_batched(const Multiplier& design,
                                 hist != nullptr ? &shard_hists[si] : nullptr);
       });
 
+  REALM_TRACE_SCOPE("mc/merge");
   ErrorAccumulator total;
   for (const auto& acc : accs) total.merge(acc);
   if (hist != nullptr) {
@@ -247,6 +254,9 @@ ErrorMetrics exhaustive(const Multiplier& design, std::optional<std::uint64_t> l
             a0 + si * rows_per + std::min<std::uint64_t>(si, rows_rem);
         const std::uint64_t n_rows = rows_per + (si < rows_rem ? 1 : 0);
 
+        REALM_TRACE_SCOPE("exhaustive/shard");
+        obs::counter_add(obs::Counter::kMcSamples, n_rows * (a1 - a0 + 1));
+        obs::counter_add(obs::Counter::kMcShards, 1);
         Scratch& buf = scratch();
         ErrorAccumulator acc;
         for (std::uint64_t a = r0; a < r0 + n_rows; ++a) {

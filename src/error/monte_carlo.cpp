@@ -7,10 +7,12 @@
 #include "realm/error/monte_carlo.hpp"
 
 #include "realm/error/eval_engine.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace realm::err {
 
 ErrorMetrics monte_carlo(const Multiplier& design, const MonteCarloOptions& opts) {
+  REALM_TRACE_SCOPE("mc/total");
   return monte_carlo_batched(design, opts, nullptr);
 }
 
@@ -19,6 +21,7 @@ ErrorMetrics monte_carlo_histogram(const Multiplier& design, Histogram* hist,
   // Same shard runner as monte_carlo — the two calls return identical
   // metrics for identical options; the histogram shards are private per
   // shard and merged in shard order.
+  REALM_TRACE_SCOPE("mc/histogram");
   return monte_carlo_batched(design, opts, hist);
 }
 

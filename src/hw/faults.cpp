@@ -9,6 +9,8 @@
 #include "realm/hw/packed_simulator.hpp"
 #include "realm/numeric/rng.hpp"
 #include "realm/numeric/thread_pool.hpp"
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace realm::hw {
 namespace {
@@ -154,6 +156,7 @@ FaultReport analyze_fault_impact(const Module& module, int vectors, std::uint64_
   num::ThreadPool::global().run(
       groups, threads < 0 ? 1u : static_cast<unsigned>(threads),
       [&](std::size_t grp) {
+        REALM_TRACE_SCOPE("faults/group");
         const std::size_t first = grp * group_size;
         const std::size_t count =
             std::min(group_size, campaign.sites.size() - first);
@@ -180,6 +183,9 @@ FaultReport analyze_fault_impact(const Module& module, int vectors, std::uint64_
             st.worst = std::max(st.worst, rel);
           }
         }
+        obs::counter_add(obs::Counter::kGateEvals,
+                         campaign.stimulus.size() * module.gates().size());
+        obs::counter_add(obs::Counter::kPackedBlocks, 1);
       });
 
   return reduce_report(campaign, stats, vectors);
@@ -293,6 +299,7 @@ AtpgResult generate_tests(const Module& module, double target_coverage,
           undetected[w++] = undetected[f];
         }
       }
+      obs::counter_add(obs::Counter::kFaultSitesDropped, undetected.size() - w);
       undetected.resize(w);
       result.patterns.push_back(std::move(vec));
     }

@@ -6,6 +6,8 @@
 
 #include "realm/numeric/rng.hpp"
 #include "realm/numeric/thread_pool.hpp"
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace realm::hw {
 
@@ -221,6 +223,7 @@ ModelEquivalence check_vs_model(const Module& module, const Multiplier& model,
       static_cast<std::size_t>(blocks),
       threads < 0 ? 1u : static_cast<unsigned>(threads),
       [&](std::size_t blk) {
+        REALM_TRACE_SCOPE("equiv/block");
         PackedSimulator sim{module};
         BlockResult& res = per_block[blk];
         std::uint64_t a_ops[PackedSimulator::kLanes];
@@ -228,6 +231,7 @@ ModelEquivalence check_vs_model(const Module& module, const Multiplier& model,
         std::uint64_t expect[PackedSimulator::kLanes];
         const std::uint64_t w0 = static_cast<std::uint64_t>(blk) * kEquivBlockWords;
         const std::uint64_t w1 = std::min(words, w0 + kEquivBlockWords);
+        std::uint64_t pairs_in_block = 0;
         for (std::uint64_t w = w0; w < w1; ++w) {
           const std::uint64_t base = w * PackedSimulator::kLanes;
           const unsigned lanes =
@@ -255,6 +259,7 @@ ModelEquivalence check_vs_model(const Module& module, const Multiplier& model,
           }
           sim.eval();
           model.multiply_batch(a_ops, b_ops, expect, lanes);
+          pairs_in_block += lanes;
           for (unsigned l = 0; l < lanes; ++l) {
             const std::uint64_t got = sim.output(0, l);
             if (got != expect[l]) {
@@ -265,6 +270,10 @@ ModelEquivalence check_vs_model(const Module& module, const Multiplier& model,
             }
           }
         }
+        obs::counter_add(obs::Counter::kEquivPairs, pairs_in_block);
+        obs::counter_add(obs::Counter::kGateEvals,
+                         (w1 - w0) * module.gates().size());
+        obs::counter_add(obs::Counter::kPackedBlocks, 1);
       });
 
   ModelEquivalence result;

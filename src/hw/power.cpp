@@ -8,6 +8,8 @@
 #include "realm/hw/simulator.hpp"
 #include "realm/numeric/rng.hpp"
 #include "realm/numeric/thread_pool.hpp"
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace realm::hw {
 
@@ -78,25 +80,29 @@ constexpr std::uint32_t kPackedBlockCycles = 1024;
 // block primes on the state preceding its first transition, so the summed
 // counts are bit-identical to one scalar sweep over the whole stream.
 PowerReport estimate_power_packed(const Module& module, const StimulusProfile& profile) {
+  REALM_TRACE_SCOPE("power/sweep");
   const auto& ports = module.inputs();
   const std::uint32_t cycles = profile.cycles;
 
   // States 0..cycles inclusive (state 0 is the scalar path's priming vector).
   std::vector<std::vector<std::uint64_t>> states(
       cycles + 1, std::vector<std::uint64_t>(ports.size(), 0));
-  num::Xoshiro256 rng{profile.seed};
-  for (std::size_t p = 0; p < ports.size(); ++p) {
-    for (std::size_t b = 0; b < ports[p].bus.size(); ++b) {
-      if (rng.uniform() < profile.probability) states[0][p] |= std::uint64_t{1} << b;
-    }
-  }
-  for (std::uint32_t c = 1; c <= cycles; ++c) {
+  {
+    REALM_TRACE_SCOPE("power/stimulus");
+    num::Xoshiro256 rng{profile.seed};
     for (std::size_t p = 0; p < ports.size(); ++p) {
-      std::uint64_t flips = 0;
       for (std::size_t b = 0; b < ports[p].bus.size(); ++b) {
-        if (rng.uniform() < profile.toggle_rate) flips |= std::uint64_t{1} << b;
+        if (rng.uniform() < profile.probability) states[0][p] |= std::uint64_t{1} << b;
       }
-      states[c][p] = states[c - 1][p] ^ flips;
+    }
+    for (std::uint32_t c = 1; c <= cycles; ++c) {
+      for (std::size_t p = 0; p < ports.size(); ++p) {
+        std::uint64_t flips = 0;
+        for (std::size_t b = 0; b < ports[p].bus.size(); ++b) {
+          if (rng.uniform() < profile.toggle_rate) flips |= std::uint64_t{1} << b;
+        }
+        states[c][p] = states[c - 1][p] ^ flips;
+      }
     }
   }
 
@@ -107,9 +113,11 @@ PowerReport estimate_power_packed(const Module& module, const StimulusProfile& p
       [&](std::size_t blk) {
         // Block blk covers transitions (t0, t1]; it loads state t0 as its
         // priming lane.
+        REALM_TRACE_SCOPE("power/block");
         const std::uint32_t t0 = static_cast<std::uint32_t>(blk) * kPackedBlockCycles;
         const std::uint32_t t1 = std::min(cycles, t0 + kPackedBlockCycles);
         PackedSimulator sim{module};
+        std::uint64_t sweeps = 0;
         std::uint32_t s = t0;
         while (s <= t1) {
           const unsigned lanes = static_cast<unsigned>(
@@ -124,9 +132,12 @@ PowerReport estimate_power_packed(const Module& module, const StimulusProfile& p
             }
           }
           sim.eval_cycles(lanes);
+          ++sweeps;
           s += lanes;
         }
         block_toggles[blk] = sim.toggle_counts();
+        obs::counter_add(obs::Counter::kGateEvals, sweeps * module.gates().size());
+        obs::counter_add(obs::Counter::kPackedBlocks, 1);
       });
 
   PowerReport report;

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
 #include "realm/jpeg/dct.hpp"
 #include "realm/jpeg/huffman.hpp"
 #include "realm/jpeg/quant.hpp"
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace realm::jpeg {
 namespace {
@@ -110,6 +113,7 @@ Compressed encode_plane(const Image& img, const std::array<std::uint16_t, 64>& q
   if (img.width() % 8 != 0 || img.height() % 8 != 0) {
     throw std::invalid_argument("encode: dimensions must be multiples of 8");
   }
+  REALM_TRACE_SCOPE("jpeg/encode");
   const num::UMulFn mul = effective_mul(opts);
   const auto& zz = zigzag_order();
 
@@ -118,6 +122,8 @@ Compressed encode_plane(const Image& img, const std::array<std::uint16_t, 64>& q
   std::vector<std::uint64_t> dc_freq(kDcSymbols, 0);
   std::vector<std::uint64_t> ac_freq(kAcSymbols, 0);
   int prev_dc = 0;
+  {
+  REALM_TRACE_SCOPE("jpeg/encode/transform");
   for (int by = 0; by < img.height(); by += 8) {
     for (int bx = 0; bx < img.width(); bx += 8) {
       std::array<std::int16_t, 64> levels{};
@@ -156,20 +162,32 @@ Compressed encode_plane(const Image& img, const std::array<std::uint16_t, 64>& q
       blocks.push_back(std::move(bc));
     }
   }
+  }
+  obs::counter_add(obs::Counter::kJpegBlocksEncoded, blocks.size());
 
-  const HuffmanCode dc_code = HuffmanCode::from_frequencies(dc_freq);
-  const HuffmanCode ac_code = HuffmanCode::from_frequencies(ac_freq);
+  // Huffman table derivation from the gathered statistics.
+  std::optional<HuffmanCode> dc_built, ac_built;
+  {
+    REALM_TRACE_SCOPE("jpeg/encode/huffman");
+    dc_built.emplace(HuffmanCode::from_frequencies(dc_freq));
+    ac_built.emplace(HuffmanCode::from_frequencies(ac_freq));
+  }
+  const HuffmanCode& dc_code = *dc_built;
+  const HuffmanCode& ac_code = *ac_built;
 
   // Pass 2: emit the bitstream.
   BitWriter w;
-  for (const auto& bc : blocks) {
-    for (const auto& [sym, extra] : bc.tokens) {
-      if (sym >= 0) {
-        dc_code.encode(w, sym);
-      } else {
-        ac_code.encode(w, -sym - 1);
+  {
+    REALM_TRACE_SCOPE("jpeg/encode/emit");
+    for (const auto& bc : blocks) {
+      for (const auto& [sym, extra] : bc.tokens) {
+        if (sym >= 0) {
+          dc_code.encode(w, sym);
+        } else {
+          ac_code.encode(w, -sym - 1);
+        }
+        if (extra.second > 0) w.put(extra.first, extra.second);
       }
-      if (extra.second > 0) w.put(extra.first, extra.second);
     }
   }
 
@@ -189,6 +207,7 @@ Image decode(const Compressed& c, const CodecOptions& opts) {
 
 Image decode_plane(const Compressed& c, const std::array<std::uint16_t, 64>& qtable,
                    const CodecOptions& opts) {
+  REALM_TRACE_SCOPE("jpeg/decode");
   const num::UMulFn mul = effective_mul(opts);
   const num::UMulFn dq = dequant_mul(opts);
   const auto& zz = zigzag_order();
@@ -225,6 +244,9 @@ Image decode_plane(const Compressed& c, const std::array<std::uint16_t, 64>& qta
       inverse_block(levels, qtable, mul, dq, img, bx, by);
     }
   }
+  obs::counter_add(obs::Counter::kJpegBlocksDecoded,
+                   static_cast<std::uint64_t>(c.width / 8) *
+                       static_cast<std::uint64_t>(c.height / 8));
   return img;
 }
 

@@ -1,11 +1,15 @@
 #include "realm/numeric/thread_pool.hpp"
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace realm::num {
 
@@ -29,6 +33,7 @@ struct ThreadPool::Impl {
   const std::function<void(std::size_t)>* task = nullptr;
   std::atomic<std::size_t> cursor{0};
   unsigned active = 0;
+  std::uint64_t region_start_ns = 0;  // publish time, for queue-wait telemetry
   std::exception_ptr first_error;
   bool stop = false;
 
@@ -42,6 +47,10 @@ struct ThreadPool::Impl {
       if (helpers_wanted == 0) continue;  // region already fully staffed
       --helpers_wanted;
       ++active;
+      // Dispatch latency: time from the caller publishing the region to this
+      // worker starting on it (still under m, so region_start_ns is stable).
+      obs::counter_add(obs::Counter::kPoolQueueWaitNs,
+                       obs::now_ns() - region_start_ns);
       lock.unlock();
       drain();
       lock.lock();
@@ -54,15 +63,28 @@ struct ThreadPool::Impl {
   void drain() {
     const std::size_t n = count;
     const auto* fn = task;
+    std::uint64_t executed = 0;
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
+      ++executed;
+      REALM_TRACE_SCOPE("pool/task");
       try {
         (*fn)(i);
       } catch (...) {
+        obs::counter_add(obs::Counter::kPoolTasksFailed, 1);
         std::lock_guard lock{m};
+        // Only the first exception propagates to the caller; any further one
+        // is swallowed here.  That silent-loss path has hidden bugs inside
+        // instrumented regions before, so debug builds make it loud.
+        assert(first_error == nullptr &&
+               "ThreadPool task threw while another failure was already "
+               "pending; this exception would be silently swallowed");
         if (!first_error) first_error = std::current_exception();
       }
+    }
+    if (executed != 0) {
+      obs::counter_add(obs::Counter::kPoolTasksExecuted, executed);
     }
   }
 };
@@ -72,6 +94,7 @@ ThreadPool::ThreadPool(unsigned workers) : impl_{new Impl} {
   for (unsigned i = 0; i < workers; ++i) {
     impl_->threads.emplace_back([this] { impl_->worker_loop(); });
   }
+  obs::gauge_set(obs::Gauge::kPoolWorkers, workers);
 }
 
 ThreadPool::~ThreadPool() {
@@ -98,10 +121,21 @@ void ThreadPool::run(std::size_t count, unsigned parallelism,
   // running inline keeps that deadlock-free).
   std::unique_lock region{impl_->region_mutex, std::try_to_lock};
   if (parallelism <= 1 || count <= 1 || workers() == 0 || !region.owns_lock()) {
-    for (std::size_t i = 0; i < count; ++i) task(i);
+    // The contention fallback (a parallel request degraded to serial because
+    // the pool was busy) used to be invisible; count it so saturated nests
+    // show up in the bench counters.
+    if (!region.owns_lock() && parallelism > 1 && count > 1 && workers() != 0) {
+      obs::counter_add(obs::Counter::kPoolTasksInline, count);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      REALM_TRACE_SCOPE("pool/task");
+      task(i);
+    }
+    obs::counter_add(obs::Counter::kPoolTasksExecuted, count);
     return;
   }
 
+  obs::counter_add(obs::Counter::kPoolRegions, 1);
   {
     std::lock_guard lock{impl_->m};
     impl_->count = count;
@@ -110,6 +144,7 @@ void ThreadPool::run(std::size_t count, unsigned parallelism,
     impl_->first_error = nullptr;
     const auto max_helpers = static_cast<unsigned>(impl_->threads.size());
     impl_->helpers_wanted = std::min(parallelism - 1, max_helpers);
+    impl_->region_start_ns = obs::now_ns();
     ++impl_->generation;
   }
   impl_->work_ready.notify_all();

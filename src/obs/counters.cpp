@@ -1,0 +1,46 @@
+#include "realm/obs/counters.hpp"
+
+namespace realm::obs {
+
+namespace detail {
+
+PaddedAtomic g_counters[kCounterCount];
+PaddedAtomic g_gauges[kGaugeCount];
+
+}  // namespace detail
+
+void counters_reset() noexcept {
+  for (auto& c : detail::g_counters) c.v.store(0, std::memory_order_relaxed);
+}
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kMcSamples: return "mc_samples";
+    case Counter::kMcShards: return "mc_shards";
+    case Counter::kLutCacheHits: return "lut_cache_hits";
+    case Counter::kLutCacheMisses: return "lut_cache_misses";
+    case Counter::kGateEvals: return "gate_evals";
+    case Counter::kPackedBlocks: return "packed_blocks";
+    case Counter::kEquivPairs: return "equiv_pairs";
+    case Counter::kFaultSitesDropped: return "fault_sites_dropped";
+    case Counter::kPoolRegions: return "pool_regions";
+    case Counter::kPoolTasksExecuted: return "pool_tasks_executed";
+    case Counter::kPoolTasksInline: return "pool_tasks_inline";
+    case Counter::kPoolTasksFailed: return "pool_tasks_failed";
+    case Counter::kPoolQueueWaitNs: return "pool_queue_wait_ns";
+    case Counter::kJpegBlocksEncoded: return "jpeg_blocks_encoded";
+    case Counter::kJpegBlocksDecoded: return "jpeg_blocks_decoded";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* gauge_name(Gauge g) noexcept {
+  switch (g) {
+    case Gauge::kPoolWorkers: return "pool_workers";
+    case Gauge::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace realm::obs

@@ -1,0 +1,164 @@
+#include "realm/obs/metrics_sink.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
+
+namespace realm::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  // %.17g round-trips doubles; trim to a clean token (no trailing garbage).
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  std::string s{buf};
+  // JSON has no inf/nan tokens; clamp to null (consumers treat as missing).
+  if (s.find("inf") != std::string::npos || s.find("nan") != std::string::npos) {
+    return "null";
+  }
+  return s;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+void append_entries(std::string& out, const char* section,
+                    const std::vector<std::pair<std::string, JsonValue>>& entries) {
+  out += "  ";
+  out += json_quote(section);
+  out += ": {";
+  bool first = true;
+  for (const auto& [key, value] : entries) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    out += json_quote(key);
+    out += ": ";
+    out += value.render();
+  }
+  out += entries.empty() ? "}" : "\n  }";
+}
+
+}  // namespace
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonValue::render() const {
+  switch (kind_) {
+    case Kind::kString: return json_quote(str_);
+    case Kind::kDouble: return format_double(num_);
+    case Kind::kInt: return std::to_string(i_);
+    case Kind::kUInt: return std::to_string(u_);
+    case Kind::kBool: return b_ ? "true" : "false";
+  }
+  return "null";
+}
+
+MetricsSink::MetricsSink(std::string bench) : bench_{std::move(bench)} {}
+
+void MetricsSink::meta(const std::string& key, JsonValue value) {
+  meta_.emplace_back(key, std::move(value));
+}
+
+void MetricsSink::metric(const std::string& key, JsonValue value) {
+  metrics_.emplace_back(key, std::move(value));
+}
+
+std::string MetricsSink::to_json() const {
+  std::vector<std::pair<std::string, JsonValue>> meta;
+  meta.reserve(meta_.size() + 2);
+  meta.emplace_back("bench", bench_);
+  meta.emplace_back("generated_utc", utc_timestamp());
+  for (const auto& e : meta_) meta.push_back(e);
+
+  std::vector<std::pair<std::string, JsonValue>> counters;
+  counters.reserve(kCounterCount);
+  for (unsigned c = 0; c < kCounterCount; ++c) {
+    counters.emplace_back(counter_name(static_cast<Counter>(c)),
+                          counter_value(static_cast<Counter>(c)));
+  }
+  std::vector<std::pair<std::string, JsonValue>> gauges;
+  gauges.reserve(kGaugeCount);
+  for (unsigned g = 0; g < kGaugeCount; ++g) {
+    gauges.emplace_back(gauge_name(static_cast<Gauge>(g)),
+                        gauge_value(static_cast<Gauge>(g)));
+  }
+
+  std::string out;
+  out += "{\n  \"schema\": \"realm-bench-v2\",\n";
+  append_entries(out, "meta", meta);
+  out += ",\n";
+  append_entries(out, "metrics", metrics_);
+  out += ",\n";
+  append_entries(out, "counters", counters);
+  out += ",\n";
+  append_entries(out, "gauges", gauges);
+  out += ",\n  \"spans\": {";
+  bool first = true;
+  for (const auto& [name, agg] : span_aggregates()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    out += json_quote(name);
+    out += ": {\"count\": " + std::to_string(agg.count);
+    out += ", \"total_us\": " + format_double(static_cast<double>(agg.total_ns) / 1e3);
+    out += ", \"mean_us\": " +
+           format_double(agg.count == 0
+                             ? 0.0
+                             : static_cast<double>(agg.total_ns) / 1e3 /
+                                   static_cast<double>(agg.count));
+    out += ", \"min_us\": " + format_double(static_cast<double>(agg.min_ns) / 1e3);
+    out += ", \"max_us\": " + format_double(static_cast<double>(agg.max_ns) / 1e3);
+    out += '}';
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsSink::write(const std::string& path) const {
+  const std::filesystem::path p{path};
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os{p};
+  if (!os) throw std::runtime_error("MetricsSink::write: cannot open " + path);
+  os << to_json();
+  if (!os) throw std::runtime_error("MetricsSink::write: write failed for " + path);
+}
+
+}  // namespace realm::obs

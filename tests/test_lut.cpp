@@ -1,10 +1,14 @@
 #include "realm/core/lut.hpp"
 
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
+#include "realm/obs/counters.hpp"
+
 namespace core = realm::core;
+namespace obs = realm::obs;
 
 TEST(SegmentLut, QuantizationIsRoundToNearest) {
   const core::SegmentLut lut{16, 6};
@@ -104,20 +108,19 @@ TEST(SegmentLutCache, CachedTableMatchesFreshDerivation) {
   }
 }
 
-TEST(SegmentLutCache, ExpiredEntriesAreRederived) {
-  // Weak caching: once all users drop the table it is freed, and a new
-  // request builds (and re-caches) a fresh instance rather than crashing.
+TEST(SegmentLutCache, EntriesSurviveAllUsersDropping) {
+  // Strong caching: a derived table lives for the process, so the
+  // construct-use-destroy iterations of a sweep re-use one derivation
+  // instead of repeating the quadrature (and the telemetry records it).
   const core::SegmentLut* first;
   {
-    const auto a = core::SegmentLut::shared(4, 10);
+    const auto a = core::SegmentLut::shared(4, 12);  // (4, 12): test-local key
     first = a.get();
-    EXPECT_EQ(a.use_count(), 1);
   }
-  const auto b = core::SegmentLut::shared(4, 10);
-  EXPECT_NE(b.get(), nullptr);
-  EXPECT_EQ(b->m(), 4);
-  EXPECT_EQ(b->q(), 10);
-  (void)first;  // may or may not be the same address — both are valid
+  const std::uint64_t hits_before = obs::counter_value(obs::Counter::kLutCacheHits);
+  const auto b = core::SegmentLut::shared(4, 12);
+  EXPECT_EQ(b.get(), first);  // same object, not a rederivation
+  EXPECT_EQ(obs::counter_value(obs::Counter::kLutCacheHits), hits_before + 1);
 }
 
 TEST(SegmentLutCache, InvalidConfigurationsStillThrow) {

@@ -1,0 +1,380 @@
+// Telemetry subsystem tests: span recording/nesting/interleaving, counter
+// atomicity under the thread pool, the pool's inline-contention counter,
+// Chrome-trace and MetricsSink JSON well-formedness, and the disabled-mode
+// zero-overhead contract (no events recorded at all).
+//
+// All obs state is process-global, so every test starts from
+// trace_reset()/counters_reset() and leaves tracing disabled on exit.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "realm/numeric/thread_pool.hpp"
+#include "realm/obs/counters.hpp"
+#include "realm/obs/metrics_sink.hpp"
+#include "realm/obs/trace.hpp"
+
+namespace {
+
+using realm::num::ThreadPool;
+namespace obs = realm::obs;
+
+// Minimal strict JSON validator (objects/arrays/strings/numbers/literals).
+// The exporters hand-assemble their documents, so the tests parse them back
+// rather than trusting the assembly; no third-party parser is available in
+// this container by design.
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& s) : s_{s} {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          if (pos_ + 4 >= s_.size()) return false;
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character: the escaper missed it
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                                s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(s_[pos_ - 1]));
+  }
+
+  bool literal(const char* word) {
+    const std::string w{word};
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// RAII guard: every test runs against clean global state and cannot leak an
+// enabled tracing flag into later tests (or vice versa).
+struct ObsSandbox {
+  ObsSandbox() {
+    obs::set_tracing(false);
+    obs::trace_reset();
+    obs::counters_reset();
+  }
+  ~ObsSandbox() {
+    obs::set_tracing(false);
+    obs::trace_reset();
+    obs::counters_reset();
+  }
+};
+
+TEST(Trace, DisabledModeRecordsNothing) {
+  ObsSandbox sandbox;
+  ASSERT_FALSE(obs::tracing_enabled());
+  for (int i = 0; i < 100; ++i) {
+    REALM_TRACE_SCOPE("test/disabled");
+  }
+  EXPECT_EQ(obs::trace_events_recorded(), 0u);
+  EXPECT_TRUE(obs::span_aggregates().empty());
+}
+
+TEST(Trace, SpanInFlightWhenDisabledStillCompletes) {
+  ObsSandbox sandbox;
+  obs::set_tracing(true);
+  {
+    REALM_TRACE_SCOPE("test/inflight");
+    obs::set_tracing(false);  // disable mid-span: no half-open scope allowed
+  }
+  EXPECT_EQ(obs::span_aggregates()["test/inflight"].count, 1u);
+}
+
+TEST(Trace, SpanNestingAggregates) {
+  ObsSandbox sandbox;
+  obs::set_tracing(true);
+  {
+    REALM_TRACE_SCOPE("test/outer");
+    {
+      REALM_TRACE_SCOPE("test/inner");
+    }
+    {
+      REALM_TRACE_SCOPE("test/inner");
+    }
+  }
+  const auto agg = obs::span_aggregates();
+  ASSERT_EQ(agg.count("test/outer"), 1u);
+  ASSERT_EQ(agg.count("test/inner"), 1u);
+  EXPECT_EQ(agg.at("test/outer").count, 1u);
+  EXPECT_EQ(agg.at("test/inner").count, 2u);
+  // Inner scopes are dynamically enclosed by the outer one, so on a
+  // monotonic clock their summed duration cannot exceed the outer span's.
+  EXPECT_LE(agg.at("test/inner").total_ns, agg.at("test/outer").total_ns);
+  EXPECT_LE(agg.at("test/inner").min_ns, agg.at("test/inner").max_ns);
+  EXPECT_EQ(obs::trace_events_recorded(), 3u);
+  EXPECT_EQ(obs::trace_events_dropped(), 0u);
+}
+
+TEST(Trace, ThreadInterleaving) {
+  ObsSandbox sandbox;
+  obs::set_tracing(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPer = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPer; ++i) {
+        REALM_TRACE_SCOPE("test/interleave");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(obs::span_aggregates().at("test/interleave").count,
+            static_cast<std::uint64_t>(kThreads) * kSpansPer);
+}
+
+TEST(Trace, RingWrapDropsOldestAndCounts) {
+  ObsSandbox sandbox;
+  obs::set_tracing(true);
+  // One thread, more spans than a ring holds (capacity 2^15): the total
+  // recorded tally keeps counting while the exportable window stays bounded.
+  constexpr std::size_t kSpans = (std::size_t{1} << 15) + 1000;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    REALM_TRACE_SCOPE("test/wrap");
+  }
+  EXPECT_EQ(obs::trace_events_recorded(), kSpans);
+  EXPECT_EQ(obs::trace_events_dropped(), 1000u);
+  EXPECT_EQ(obs::span_aggregates().at("test/wrap").count, std::size_t{1} << 15);
+}
+
+TEST(Trace, ChromeJsonWellFormed) {
+  ObsSandbox sandbox;
+  obs::set_tracing(true);
+  {
+    REALM_TRACE_SCOPE("test/json");
+  }
+  std::thread worker{[] {
+    REALM_TRACE_SCOPE("test/json");
+  }};
+  worker.join();
+
+  const std::string json = obs::chrome_trace_json();
+  MiniJson parser{json};
+  EXPECT_TRUE(parser.valid()) << json;
+  // Structure spot-checks on top of syntactic validity: complete events with
+  // the fields chrome://tracing requires, and named thread tracks.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test/json\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("realm-main"), std::string::npos);
+}
+
+TEST(Counters, AtomicityUnderThreadPool) {
+  ObsSandbox sandbox;
+  ThreadPool pool{3};
+  constexpr std::size_t kTasks = 1000;
+  pool.run(kTasks, 0, [](std::size_t) {
+    obs::counter_add(obs::Counter::kMcSamples, 1);
+  });
+  EXPECT_EQ(obs::counter_value(obs::Counter::kMcSamples), kTasks);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPoolTasksExecuted), kTasks);
+  EXPECT_GE(obs::counter_value(obs::Counter::kPoolRegions), 1u);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPoolTasksFailed), 0u);
+  EXPECT_EQ(obs::gauge_value(obs::Gauge::kPoolWorkers), 3u);
+}
+
+TEST(Counters, InlineFallbackIsCounted) {
+  ObsSandbox sandbox;
+  ThreadPool pool{2};
+  std::atomic<bool> occupied{false};
+  std::atomic<bool> release{false};
+
+  // Occupy the pool's region lock from another thread, then issue a second
+  // parallel run(): it must degrade to inline execution and say so.
+  std::thread holder{[&] {
+    pool.run(3, 0, [&](std::size_t) {
+      occupied.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }};
+  while (!occupied.load()) std::this_thread::yield();
+
+  constexpr std::size_t kContended = 5;
+  std::atomic<std::size_t> ran{0};
+  pool.run(kContended, 0, [&](std::size_t) { ran.fetch_add(1); });
+  release.store(true);
+  holder.join();
+
+  EXPECT_EQ(ran.load(), kContended);  // fallback still runs every task
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPoolTasksInline), kContended);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPoolTasksExecuted), kContended + 3);
+}
+
+TEST(Counters, ResetZeroesCountersButKeepsGauges) {
+  ObsSandbox sandbox;
+  obs::counter_add(obs::Counter::kGateEvals, 42);
+  obs::gauge_set(obs::Gauge::kPoolWorkers, 7);
+  obs::counters_reset();
+  EXPECT_EQ(obs::counter_value(obs::Counter::kGateEvals), 0u);
+  EXPECT_EQ(obs::gauge_value(obs::Gauge::kPoolWorkers), 7u);
+}
+
+TEST(Counters, EveryNameIsUniqueAndStable) {
+  std::vector<std::string> names;
+  for (unsigned c = 0; c < obs::kCounterCount; ++c) {
+    names.emplace_back(obs::counter_name(static_cast<obs::Counter>(c)));
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(MetricsSink, JsonQuoteEscapes) {
+  EXPECT_EQ(obs::json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(obs::json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(obs::json_quote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(obs::json_quote(std::string{"\x01", 1}), "\"\\u0001\"");
+}
+
+TEST(MetricsSink, DocumentIsSchemaStableAndParses) {
+  ObsSandbox sandbox;
+  obs::set_tracing(true);
+  {
+    REALM_TRACE_SCOPE("test/sink");
+  }
+  obs::counter_add(obs::Counter::kLutCacheHits, 3);
+
+  obs::MetricsSink sink{"unit_test"};
+  sink.meta("config", "realm:m=16,t=0");
+  sink.meta("threads", 4);
+  sink.metric("speedup", 5.25);
+  sink.metric("bit_identical", true);
+  sink.metric("pairs", std::uint64_t{1} << 33);
+
+  const std::string json = sink.to_json();
+  MiniJson parser{json};
+  EXPECT_TRUE(parser.valid()) << json;
+  EXPECT_NE(json.find("\"schema\": \"realm-bench-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"generated_utc\""), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\": 5.25"), std::string::npos);
+  EXPECT_NE(json.find("\"bit_identical\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"pairs\": 8589934592"), std::string::npos);
+  // The counters section always carries the full catalog, hit or not.
+  for (unsigned c = 0; c < obs::kCounterCount; ++c) {
+    EXPECT_NE(json.find(obs::json_quote(obs::counter_name(static_cast<obs::Counter>(c)))),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("\"lut_cache_hits\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"pool_workers\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/sink\": {\"count\": 1"), std::string::npos);
+}
+
+TEST(MetricsSink, NonFiniteMetricsBecomeNull) {
+  obs::MetricsSink sink{"unit_test"};
+  sink.metric("inf", 1.0 / 0.0);
+  sink.metric("nan", 0.0 / 0.0);
+  const std::string json = sink.to_json();
+  MiniJson parser{json};
+  EXPECT_TRUE(parser.valid()) << json;
+  EXPECT_NE(json.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"nan\": null"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate bench output files against the realm-bench-v2 schema.
+
+Usage: check_bench_schema.py FILE [FILE ...]
+
+Two file kinds are accepted:
+  * BENCH_*.json — MetricsSink documents; must carry schema "realm-bench-v2"
+    with `meta` (including the producing bench's name), `metrics`, the full
+    `counters` catalog, `gauges` and `spans` sections.
+  * trace_*.json — Chrome trace-event exports; must hold a non-empty
+    `traceEvents` list whose complete ("X") events carry name/ts/dur/pid/tid.
+
+Exits non-zero (listing every problem) if any file fails, so CI catches a
+bench drifting off the unified schema the moment it happens.  Stdlib only.
+"""
+
+import json
+import sys
+
+# Keep in sync with obs::Counter / counter_name() (include/realm/obs/counters.hpp).
+EXPECTED_COUNTERS = [
+    "mc_samples",
+    "mc_shards",
+    "lut_cache_hits",
+    "lut_cache_misses",
+    "gate_evals",
+    "packed_blocks",
+    "equiv_pairs",
+    "fault_sites_dropped",
+    "pool_regions",
+    "pool_tasks_executed",
+    "pool_tasks_inline",
+    "pool_tasks_failed",
+    "pool_queue_wait_ns",
+    "jpeg_blocks_encoded",
+    "jpeg_blocks_decoded",
+]
+
+EXPECTED_GAUGES = ["pool_workers"]
+
+
+def check_bench(doc, problems):
+    if doc.get("schema") != "realm-bench-v2":
+        problems.append(f"schema is {doc.get('schema')!r}, expected 'realm-bench-v2'")
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        problems.append("missing 'meta' object")
+    elif not meta.get("bench"):
+        problems.append("meta.bench is missing or empty")
+    elif not meta.get("generated_utc"):
+        problems.append("meta.generated_utc is missing or empty")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("missing or empty 'metrics' object")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        problems.append("missing 'counters' object")
+    else:
+        for name in EXPECTED_COUNTERS:
+            if name not in counters:
+                problems.append(f"counters missing {name!r}")
+        for name, value in counters.items():
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"counter {name!r} is not a non-negative integer")
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        problems.append("missing 'gauges' object")
+    else:
+        for name in EXPECTED_GAUGES:
+            if name not in gauges:
+                problems.append(f"gauges missing {name!r}")
+    if not isinstance(doc.get("spans"), dict):
+        problems.append("missing 'spans' object")
+
+
+def check_trace(doc, problems):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        problems.append("missing or empty 'traceEvents' list")
+        return
+    complete = [e for e in events if e.get("ph") == "X"]
+    if not complete:
+        problems.append("no complete ('X' phase) events in trace")
+    for e in complete:
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                problems.append(f"'X' event missing {key!r}: {e}")
+                break
+
+
+def check_file(path):
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [str(exc)]
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"]
+    if "traceEvents" in doc:
+        check_trace(doc, problems)
+    else:
+        check_bench(doc, problems)
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        problems = check_file(path)
+        if problems:
+            failed = True
+            print(f"FAIL {path}")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            print(f"ok   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
