@@ -1,0 +1,120 @@
+// Campaign subsystem benchmark: cold vs warm design-space sweeps through the
+// content-addressed result store.
+//
+// The cold pass characterizes every Table I configuration (Monte-Carlo error
+// + calibrated synthesis cost) while recording each design as a durable
+// store unit; the warm pass reruns the identical sweep with --resume
+// semantics and must replay every unit from the journal — the acceptance
+// floor is a >=10x wall-clock speedup.  The two sweeps are also compared
+// point by point: a resumed result that differs from the computed one in any
+// bit is a correctness failure, not a perf miss.
+//
+// Default store is bench_out/BENCH_campaign.store (recreated each run so
+// "cold" means cold); pass --store=PATH to measure against an existing
+// journal instead.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "realm/campaign/runner.hpp"
+#include "realm/dse/sweep.hpp"
+#include "realm/multipliers/registry.hpp"
+#include "realm/obs/metrics_sink.hpp"
+
+using namespace realm;
+
+namespace {
+
+[[nodiscard]] bool identical_points(const std::vector<dse::DesignPoint>& a,
+                                    const std::vector<dse::DesignPoint>& b) {
+  if (a.size() != b.size()) return false;
+  const auto same = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof x) == 0;  // bit-identical, not just ==
+  };
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].spec != b[i].spec || !same(a[i].error.bias, b[i].error.bias) ||
+        !same(a[i].error.mean, b[i].error.mean) ||
+        !same(a[i].error.variance, b[i].error.variance) ||
+        !same(a[i].error.min, b[i].error.min) ||
+        !same(a[i].error.max, b[i].error.max) ||
+        !same(a[i].area_reduction_pct, b[i].area_reduction_pct) ||
+        !same(a[i].power_reduction_pct, b[i].power_reduction_pct)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  if (args.store_path.empty()) {
+    args.store_path = "bench_out/BENCH_campaign.store";
+    std::remove(args.store_path.c_str());  // a fresh journal makes cold cold
+    bench::Args::validate_store_path(args.store_path);
+  }
+
+  dse::SweepOptions opts;
+  opts.monte_carlo.samples = args.samples / 4;  // match bench_fig4_pareto's keys
+  opts.monte_carlo.threads = args.threads;
+  opts.stimulus.cycles = args.cycles;
+
+  const auto specs = mult::table1_specs();
+  std::printf("campaign warm/cold — %zu designs, %llu samples each, store %s\n",
+              specs.size(),
+              static_cast<unsigned long long>(opts.monte_carlo.samples),
+              args.store_path.c_str());
+
+  using clock = std::chrono::steady_clock;
+
+  campaign::ResultStore store{args.store_path};
+  campaign::CampaignRunner cold_runner{&store, /*resume=*/false};
+  opts.campaign = &cold_runner;
+  const auto t0 = clock::now();
+  const auto cold_pts = dse::run_sweep(specs, opts);
+  const double cold_s = std::chrono::duration<double>(clock::now() - t0).count();
+
+  campaign::CampaignRunner warm_runner{&store, /*resume=*/true};
+  opts.campaign = &warm_runner;
+  const auto t1 = clock::now();
+  const auto warm_pts = dse::run_sweep(specs, opts);
+  const double warm_s = std::chrono::duration<double>(clock::now() - t1).count();
+
+  const bool identical = identical_points(cold_pts, warm_pts);
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+  const auto stats = store.stats();
+
+  std::printf("  cold sweep: %8.3f s (%llu units computed)\n", cold_s,
+              static_cast<unsigned long long>(cold_runner.units_computed()));
+  std::printf("  warm sweep: %8.3f s (%llu units resumed, %llu computed)\n", warm_s,
+              static_cast<unsigned long long>(warm_runner.units_resumed()),
+              static_cast<unsigned long long>(warm_runner.units_computed()));
+  std::printf("  speedup: %.1fx (acceptance floor: 10x)   results bit-identical: %s\n",
+              speedup, identical ? "yes" : "NO");
+  std::printf("  journal: %llu live records, %llu bytes appended\n",
+              static_cast<unsigned long long>(stats.records_live),
+              static_cast<unsigned long long>(stats.bytes_appended));
+
+  obs::MetricsSink sink{"campaign"};
+  sink.meta("designs", specs.size());
+  sink.meta("samples", opts.monte_carlo.samples);
+  sink.meta("cycles", static_cast<std::uint64_t>(opts.stimulus.cycles));
+  sink.meta("store", args.store_path);
+  sink.metric("cold_seconds", cold_s);
+  sink.metric("warm_seconds", warm_s);
+  sink.metric("warm_speedup", speedup);
+  sink.metric("warm_bit_identical", identical);
+  sink.metric("units_computed_cold", cold_runner.units_computed());
+  sink.metric("units_resumed_warm", warm_runner.units_resumed());
+  sink.metric("units_computed_warm", warm_runner.units_computed());
+  sink.metric("store_records_live", stats.records_live);
+  sink.metric("store_bytes_appended", stats.bytes_appended);
+  bench::write_outputs(args, sink, "bench_out/BENCH_campaign.json");
+
+  // Fail loudly if the store ever serves a result that differs from the
+  // computation it memoized — CI treats that as a broken journal.
+  return identical ? 0 : 1;
+}

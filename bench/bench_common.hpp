@@ -9,8 +9,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 
+#include "realm/campaign/runner.hpp"
 #include "realm/obs/metrics_sink.hpp"
 #include "realm/obs/trace.hpp"
 
@@ -28,6 +31,8 @@ struct Args {
   bool full = false;  ///< use the paper's full 2^24 sample budget
   std::string trace_path;  ///< --trace=PATH: record spans, export Chrome JSON
   std::string json_path;   ///< --json=PATH: override the bench's BENCH_*.json
+  std::string store_path;  ///< --store=PATH: attach a campaign result store
+  bool resume = false;     ///< --resume: replay completed units from the store
 
   /// Strict decimal parse: the whole value must be digits (strtoull's
   /// default of accepting "12abc" as 12 — or "abc" as 0 — hid typos).
@@ -59,6 +64,36 @@ struct Args {
       std::exit(2);
     }
     return v;
+  }
+
+  /// Strict --store validation (the PR 2 convention: bad input exits 2, it
+  /// never silently runs without the store): the path must not name a
+  /// directory, its parent must exist or be creatable, and the journal must
+  /// be openable for append.
+  static void validate_store_path(const std::string& path) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      std::fprintf(stderr, "bad value for --store: '%s' is a directory\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    const fs::path parent = fs::path{path}.parent_path();
+    if (!parent.empty()) {
+      fs::create_directories(parent, ec);
+      if (ec) {
+        std::fprintf(stderr, "bad value for --store: cannot create '%s' (%s)\n",
+                     parent.c_str(), ec.message().c_str());
+        std::exit(2);
+      }
+    }
+    std::FILE* probe = std::fopen(path.c_str(), "ab");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "bad value for --store: '%s' is not writable\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    std::fclose(probe);
   }
 
   static Args parse(int argc, char** argv) {
@@ -95,6 +130,14 @@ struct Args {
           std::fprintf(stderr, "bad value for --json: expected a file path\n");
           std::exit(2);
         }
+      } else if (arg.rfind("--store=", 0) == 0) {
+        a.store_path = val("--store=");
+        if (a.store_path.empty()) {
+          std::fprintf(stderr, "bad value for --store: expected a file path\n");
+          std::exit(2);
+        }
+      } else if (arg == "--resume") {
+        a.resume = true;
       } else if (arg == "--full") {
         a.full = true;
         a.samples = std::uint64_t{1} << 24;  // the paper's budget
@@ -102,13 +145,19 @@ struct Args {
       } else if (arg == "--help") {
         std::printf(
             "flags: --samples=N --cycles=N --vectors=N --image-size=N "
-            "--threads=N --full --trace=PATH --json=PATH\n");
+            "--threads=N --full --trace=PATH --json=PATH --store=PATH "
+            "--resume\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
         std::exit(2);
       }
     }
+    if (a.resume && a.store_path.empty()) {
+      std::fprintf(stderr, "--resume requires --store=PATH\n");
+      std::exit(2);
+    }
+    if (!a.store_path.empty()) validate_store_path(a.store_path);
     // REALM_TRACE=path is the env-var equivalent of --trace=path (the
     // explicit flag wins); REALM_TRACE=1 merely enables recording.
     if (a.trace_path.empty()) {
@@ -118,6 +167,53 @@ struct Args {
     return a;
   }
 };
+
+/// An attached campaign (--store=PATH [--resume]), or an inert pair of
+/// nulls when no store was requested — benches pass `runner()` straight to
+/// the campaign-aware engines either way.
+struct Campaign {
+  std::unique_ptr<campaign::ResultStore> store;
+  std::unique_ptr<campaign::CampaignRunner> campaign_runner;
+
+  [[nodiscard]] campaign::CampaignRunner* runner() const noexcept {
+    return campaign_runner.get();
+  }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return campaign_runner != nullptr;
+  }
+
+  /// Annotates a sink with the campaign's outcome (store path, resumed vs
+  /// computed units, journal stats).  Everything goes to `meta`, never
+  /// `metrics`: the crash/resume smoke asserts metrics-equality between an
+  /// interrupted and an uninterrupted run, and resumed-unit tallies differ
+  /// between those by design (they are also in the counters snapshot).
+  void describe(obs::MetricsSink& sink) const {
+    if (!campaign_runner) return;
+    const auto s = store->stats();
+    sink.meta("campaign_store", store->path());
+    sink.meta("campaign_resume", campaign_runner->resume());
+    sink.meta("campaign_units_resumed", campaign_runner->units_resumed());
+    sink.meta("campaign_units_computed", campaign_runner->units_computed());
+    sink.meta("store_records_live", s.records_live);
+    sink.meta("store_bytes_appended", s.bytes_appended);
+  }
+};
+
+/// Opens the campaign store named by --store (exit 2 on failure, matching
+/// the flag conventions); returns an inert Campaign when no store was given.
+inline Campaign open_campaign(const Args& args) {
+  Campaign c;
+  if (args.store_path.empty()) return c;
+  try {
+    c.store = std::make_unique<campaign::ResultStore>(args.store_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot open --store: %s\n", e.what());
+    std::exit(2);
+  }
+  c.campaign_runner =
+      std::make_unique<campaign::CampaignRunner>(c.store.get(), args.resume);
+  return c;
+}
 
 /// The single exit path for bench measurements: writes the sink (with the
 /// counter/gauge/span snapshot) to --json=PATH or the bench's default

@@ -8,14 +8,14 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "realm/hw/circuits.hpp"
-#include "realm/hw/faults.hpp"
+#include "realm/campaign/cached_eval.hpp"
 #include "realm/multipliers/registry.hpp"
 
 using namespace realm;
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  const bench::Campaign camp = bench::open_campaign(args);
   const int vectors =
       static_cast<int>(args.vectors != 0 ? args.vectors : args.cycles / 4);
 
@@ -26,11 +26,21 @@ int main(int argc, char** argv) {
   bench::print_rule(72);
   for (const char* spec : {"accurate", "calm", "mbm:t=0", "realm:m=16,t=0",
                            "realm:m=4,t=9", "drum:k=6", "ssm:m=8"}) {
-    const hw::Module mod = hw::build_circuit(spec, 16);
-    const auto r = hw::analyze_fault_impact(mod, vectors, 0xFA, 1500, args.threads);
-    std::printf("%-18s %8zu %8zu/%-4zu %13.4f %14.4f\n", spec, mod.gates().size(),
-                r.sites_undetected, r.sites_analyzed, r.mean_rel_error,
+    // One campaign unit per design: a killed campaign resumes at the first
+    // design whose sweep had not completed.
+    const auto r = campaign::cached_fault_impact(camp.runner(), spec, 16, vectors,
+                                                 0xFA, 1500, args.threads);
+    std::printf("%-18s %8llu %8llu/%-4llu %13.4f %14.4f\n", spec,
+                static_cast<unsigned long long>(r.gates),
+                static_cast<unsigned long long>(r.sites_undetected),
+                static_cast<unsigned long long>(r.sites_analyzed), r.mean_rel_error,
                 r.worst_rel_error);
+  }
+  if (camp) {
+    std::printf("campaign: %llu units resumed, %llu computed (store: %s)\n",
+                static_cast<unsigned long long>(camp.campaign_runner->units_resumed()),
+                static_cast<unsigned long long>(camp.campaign_runner->units_computed()),
+                camp.store->path().c_str());
   }
   bench::print_rule(72);
   std::printf("reading: 'undetected' sites never flip an output on the sampled\n"

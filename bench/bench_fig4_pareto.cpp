@@ -38,15 +38,22 @@ void print_panel(const char* title, const std::vector<dse::DesignPoint>& pts,
 
 int main(int argc, char** argv) {
   bench::Args args = bench::Args::parse(argc, argv);
+  const bench::Campaign camp = bench::open_campaign(args);
   dse::SweepOptions opts;
   opts.monte_carlo.samples = args.samples / 4;  // 65 designs; keep the run brisk
   opts.monte_carlo.threads = args.threads;
   opts.stimulus.cycles = args.cycles;
-  opts.verbose = false;
+  opts.campaign = camp.runner();
 
   std::printf("Fig. 4 — design space over %zu Table I configurations\n",
               mult::table1_specs().size());
   const auto pts = dse::run_sweep(mult::table1_specs(), opts);
+  if (camp) {
+    std::printf("campaign: %llu units resumed, %llu computed (store: %s)\n",
+                static_cast<unsigned long long>(camp.campaign_runner->units_resumed()),
+                static_cast<unsigned long long>(camp.campaign_runner->units_computed()),
+                camp.store->path().c_str());
+  }
 
   std::filesystem::create_directories("bench_out");
   std::ofstream csv{"bench_out/fig4_design_space.csv"};

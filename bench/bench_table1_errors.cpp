@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "paper_reference.hpp"
+#include "realm/campaign/cached_eval.hpp"
 #include "realm/error/eval_engine.hpp"
 #include "realm/error/monte_carlo.hpp"
 #include "realm/multipliers/registry.hpp"
@@ -90,6 +91,7 @@ void bench_eval_engine(std::uint64_t samples, int threads, obs::MetricsSink& sin
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  const bench::Campaign camp = bench::open_campaign(args);
   err::MonteCarloOptions opts;
   opts.samples = args.samples;
   opts.threads = args.threads;
@@ -101,10 +103,15 @@ int main(int argc, char** argv) {
               "min peak %", "max peak %", "variance");
   bench::print_rule();
 
+  // With --store, every design is one resumable campaign unit, and the
+  // per-design metrics go into the JSON document verbatim — they are exact
+  // (hex-float payloads), so an interrupted-then-resumed campaign's JSON is
+  // byte-identical to an uninterrupted run's (the CI smoke asserts this).
+  obs::MetricsSink campaign_sink{"table1_campaign"};
   std::printf("\nCSV:spec,bias,mean,min,max,variance\n");
   for (const auto& spec : mult::table1_specs()) {
     const auto model = mult::make_multiplier(spec, 16);
-    const auto r = err::monte_carlo(*model, opts);
+    const auto r = campaign::cached_monte_carlo(camp.runner(), *model, spec, 16, opts);
     const auto p = bench::paper_row(spec);
     std::printf("%-22s %+7.2f [%+6.2f]    %6.2f [%6.2f]    %+7.2f [%+7.2f]     "
                 "%+7.2f [%+7.2f]    %7.2f [%7.2f]\n",
@@ -113,9 +120,31 @@ int main(int argc, char** argv) {
                 r.variance, p ? p->variance : 0.0);
     std::printf("CSV:%s,%.4f,%.4f,%.4f,%.4f,%.4f\n", spec.c_str(), r.bias, r.mean,
                 r.min, r.max, r.variance);
+    if (camp) {
+      campaign_sink.metric(spec + ".bias", r.bias);
+      campaign_sink.metric(spec + ".mean", r.mean);
+      campaign_sink.metric(spec + ".min", r.min);
+      campaign_sink.metric(spec + ".max", r.max);
+      campaign_sink.metric(spec + ".variance", r.variance);
+    }
   }
   bench::print_rule();
   std::printf("note: bracketed values are Table I of the paper; see EXPERIMENTS.md\n");
+
+  if (camp) {
+    // Campaign mode: the engine-throughput microbenchmark is skipped — under
+    // memoization it would measure the store, not the engine — and the
+    // document carries the deterministic error table plus campaign meta.
+    campaign_sink.meta("samples", args.samples);
+    campaign_sink.meta("designs", mult::table1_specs().size());
+    camp.describe(campaign_sink);
+    std::printf("campaign: %llu units resumed, %llu computed (store: %s)\n",
+                static_cast<unsigned long long>(camp.campaign_runner->units_resumed()),
+                static_cast<unsigned long long>(camp.campaign_runner->units_computed()),
+                camp.store->path().c_str());
+    bench::write_outputs(args, campaign_sink, "bench_out/BENCH_table1_campaign.json");
+    return 0;
+  }
 
   obs::MetricsSink sink{"eval_engine"};
   bench_eval_engine(args.samples, args.threads, sink);

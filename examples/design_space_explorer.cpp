@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
   dse::SweepOptions opts;
   opts.monte_carlo.samples = 1 << 20;
   opts.stimulus.cycles = 500;
-  opts.verbose = true;
-  std::printf("sweeping %zu designs (error: 2^20 samples, power: 500 vectors)...\n\n",
+  std::printf("sweeping %zu designs (error: 2^20 samples, power: 500 vectors)...\n"
+              "(set REALM_TRACE=dse_trace.json for per-point timing spans)\n\n",
               specs.size());
   const auto points = dse::run_sweep(specs, opts);
 

@@ -1,0 +1,86 @@
+// Canonical request records and payload codecs for the campaign store.
+//
+// A store key must be a *canonical* serialization of everything the result
+// depends on — design spec, bit-width, sample budget, seed scheme, and the
+// producing engine's schema version — and of nothing else (thread counts and
+// other knobs that provably cannot change the result stay out of the key).
+// RequestKey builds that string with a fixed field order chosen by the call
+// site, so two runs that mean the same computation always derive the same
+// content address.
+//
+// Payloads are line-oriented `name=value` text.  Doubles are rendered as C99
+// hex-floats (%a) and parsed with strtod, which round-trips every finite
+// IEEE-754 double bit-exactly — the property that makes a resumed campaign's
+// metrics JSON byte-identical to an uninterrupted run's.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace realm::campaign {
+
+/// Bump when the record/payload encoding itself changes; part of every key.
+inline constexpr int kCampaignSchemaVersion = 1;
+
+/// Canonical key builder: "realm-campaign/v1|<kind>|name=value|...".
+/// Field names and values must not contain '|' or '\n' (asserted).
+class RequestKey {
+ public:
+  /// `kind` names the unit family, e.g. "error_mc" or "synthesis".
+  explicit RequestKey(std::string_view kind);
+
+  RequestKey& field(std::string_view name, std::string_view value);
+  RequestKey& field(std::string_view name, std::int64_t value);
+  RequestKey& field(std::string_view name, std::uint64_t value);
+  RequestKey& field(std::string_view name, int value) {
+    return field(name, static_cast<std::int64_t>(value));
+  }
+  /// Hex rendering for seeds/masks (stable and greppable).
+  RequestKey& field_hex(std::string_view name, std::uint64_t value);
+  /// Hex-float rendering — exact for every finite double.
+  RequestKey& field(std::string_view name, double value);
+
+  [[nodiscard]] const std::string& str() const noexcept { return key_; }
+
+ private:
+  std::string key_;
+};
+
+/// Line-oriented payload builder matching PayloadReader.
+class PayloadWriter {
+ public:
+  PayloadWriter& field(std::string_view name, double value);       // %a
+  PayloadWriter& field(std::string_view name, std::uint64_t value);
+  PayloadWriter& field(std::string_view name, std::int64_t value);
+
+  [[nodiscard]] const std::string& str() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+};
+
+/// Parses a PayloadWriter payload; getters throw std::runtime_error on a
+/// missing field or malformed value, so a corrupt (but checksum-clean,
+/// i.e. schema-drifted) payload fails loudly instead of producing garbage.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view text);
+
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] std::uint64_t get_u64(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_i64(std::string_view name) const;
+  [[nodiscard]] bool has(std::string_view name) const;
+
+ private:
+  [[nodiscard]] const std::string& raw(std::string_view name) const;
+
+  std::string text_;
+  // Small campaigns payloads (≤ ~10 fields): linear scan over parsed pairs.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace realm::campaign

@@ -1,0 +1,122 @@
+// Content-addressed on-disk result store for long-running campaigns.
+//
+// A store is a single append-only journal file plus an in-memory index.
+// Records are addressed by the *content* of their canonical request key
+// (record.hpp): the index hashes the full key string, and the 64-bit FNV-1a
+// digest of the key doubles as the short display address used by the
+// `realm_campaign` CLI.  The full key is stored in every record, so hash
+// collisions can never alias two different requests.
+//
+// Journal layout (all integers little-endian, independent of host order):
+//
+//   file header   8 bytes   "REALMST1"
+//   record        20-byte header + key bytes + payload bytes
+//     u32 magic       "RCR1" (0x31524352)
+//     u32 key_len
+//     u32 payload_len
+//     u64 checksum    FNV-1a 64 over LE(key_len) . LE(payload_len) . key . payload
+//
+// Durability contract: put() appends one record, flushes and fsyncs before
+// returning — a crash (including SIGKILL) after put() returns can never lose
+// that record.  A crash *during* put() leaves a torn tail: open() scans the
+// journal, keeps every record that parses and checksums, and — in read-write
+// mode — truncates the file at the first bad byte, so the store recovers to
+// exactly the set of completed put()s.  Read-only opens never modify the
+// file and simply ignore the torn tail, which also makes it safe to inspect
+// a store that another process is actively appending to.
+//
+// Re-putting a key appends a superseding record (latest wins on replay);
+// compact() drops superseded duplicates by atomically rewriting the journal
+// (temp file + rename).  All operations are thread-safe within a process.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace realm::campaign {
+
+/// 64-bit FNV-1a — the content address of a canonical request key.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// fnv1a64 rendered as 16 lowercase hex digits (the CLI's record id).
+[[nodiscard]] std::string content_hash_hex(std::string_view key);
+
+class ResultStore {
+ public:
+  enum class Mode {
+    kReadWrite,  ///< recover (truncate) torn tails; put() allowed
+    kReadOnly    ///< never modifies the file; put() throws
+  };
+
+  /// Opens (creating in read-write mode) the journal at `path` and replays
+  /// it into the index.  Throws std::runtime_error if the file cannot be
+  /// opened/created or carries a foreign header (never clobbers a file that
+  /// is not a result store).
+  explicit ResultStore(std::string path, Mode mode = Mode::kReadWrite);
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// Payload for `key`, if a completed record exists.  Counts one store hit
+  /// or miss (obs counters) per call.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  /// Durably appends (key, payload); returns once the record is fsync'd.
+  /// Throws std::runtime_error on I/O failure or a read-only store.
+  void put(const std::string& key, const std::string& payload);
+
+  /// Index lookup without touching the hit/miss counters.
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Unique live keys.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Live keys in first-seen journal order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  struct Stats {
+    std::uint64_t records_replayed = 0;   ///< records parsed on open
+    std::uint64_t records_live = 0;       ///< unique keys after replay + puts
+    std::uint64_t bytes_on_open = 0;      ///< journal bytes that replayed clean
+    std::uint64_t torn_bytes_dropped = 0; ///< trailing bytes discarded on open
+    std::uint64_t records_appended = 0;   ///< put() calls this session
+    std::uint64_t bytes_appended = 0;     ///< journal bytes written this session
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Rewrites the journal keeping only the latest record per key (gc).  The
+  /// rewrite is atomic: a temp journal is written, fsync'd and renamed over
+  /// the store.  Read-write mode only.  Returns the number of superseded
+  /// records dropped.
+  std::uint64_t compact();
+
+ private:
+  struct Entry {
+    std::string payload;
+    std::uint64_t order = 0;  ///< first-seen sequence for stable listings
+  };
+
+  void replay_journal_locked();
+  void append_record_locked(const std::string& key, const std::string& payload);
+
+  std::string path_;
+  Mode mode_;
+  std::FILE* file_ = nullptr;
+  std::unordered_map<std::string, Entry> index_;
+  std::uint64_t next_order_ = 0;
+  Stats stats_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace realm::campaign

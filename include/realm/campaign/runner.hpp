@@ -1,0 +1,68 @@
+// Resumable campaign runner: idempotent work units over a ResultStore.
+//
+// A campaign decomposes into shard-granular units, each identified by a
+// canonical RequestKey.  run_unit() is the whole contract:
+//
+//   * resume mode, key present  -> the stored payload is returned and the
+//     unit is counted as *resumed* (no recomputation);
+//   * otherwise                 -> compute() runs, its payload is durably
+//     appended (ResultStore::put fsyncs before returning) and the unit is
+//     counted as *computed*.
+//
+// Because a unit's record only becomes visible after its fsync completes, a
+// `kill -9` at any instant loses at most the unit in flight; rerunning with
+// resume=true replays every completed unit from the store and recomputes
+// only the remainder.  Units must be idempotent and deterministic functions
+// of their key — that is what makes an interrupted-then-resumed campaign
+// bit-identical to an uninterrupted one.
+//
+// Without resume, an existing store is treated as write-only: every unit is
+// recomputed and re-recorded (an authoritative re-run that supersedes stale
+// records), which is also what gives "cold" its meaning in the warm/cold
+// benchmarks.
+//
+// Crash-injection test hook: REALM_CAMPAIGN_CRASH_AFTER=N makes the runner
+// call std::_Exit(kCrashExitCode) immediately after the N-th *computed*
+// unit of the process is made durable — a deterministic stand-in for
+// SIGKILL (no destructors, no extra flushes) used by the recovery tests and
+// the CI interrupted-campaign smoke.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "realm/campaign/result_store.hpp"
+
+namespace realm::campaign {
+
+/// Exit code of the REALM_CAMPAIGN_CRASH_AFTER injection hook.
+inline constexpr int kCrashExitCode = 42;
+
+class CampaignRunner {
+ public:
+  /// `store` must outlive the runner.
+  CampaignRunner(ResultStore* store, bool resume);
+
+  /// Returns the unit's payload, from the store (resume hit) or freshly
+  /// computed and durably recorded.  Thread-safe; compute() may itself be
+  /// internally parallel.
+  std::string run_unit(const std::string& key,
+                       const std::function<std::string()>& compute);
+
+  [[nodiscard]] bool resume() const noexcept { return resume_; }
+  [[nodiscard]] ResultStore& store() noexcept { return *store_; }
+  [[nodiscard]] std::uint64_t units_resumed() const noexcept;
+  [[nodiscard]] std::uint64_t units_computed() const noexcept;
+
+ private:
+  ResultStore* store_;
+  bool resume_;
+  std::atomic<std::uint64_t> resumed_{0};
+  std::atomic<std::uint64_t> computed_{0};
+  std::uint64_t crash_after_ = 0;  ///< 0 = injection disabled
+};
+
+}  // namespace realm::campaign

@@ -10,16 +10,29 @@
 #include "realm/error/monte_carlo.hpp"
 #include "realm/hw/cost_model.hpp"
 
+namespace realm::campaign {
+class CampaignRunner;
+}
+
 namespace realm::dse {
 
 struct SweepOptions {
   int n = 16;
   err::MonteCarloOptions monte_carlo;
   hw::StimulusProfile stimulus;
-  bool verbose = false;  ///< print one progress line per design to stderr
+  /// Optional campaign memoization/resume: when set, every design's error
+  /// characterization and synthesis record becomes one idempotent store unit
+  /// (campaign/cached_eval.hpp), so an interrupted sweep resumes where it
+  /// crashed and a warm sweep skips the computation entirely.  Null = direct.
+  campaign::CampaignRunner* campaign = nullptr;
 };
 
-/// Characterizes every spec.  The cost model is calibrated once and shared.
+/// Characterizes every spec and returns one point per input entry, in input
+/// order.  Duplicate spec strings are characterized once and fanned back out
+/// to every occurrence.  The cost model is calibrated lazily (at most once,
+/// shared by all specs) — a fully campaign-warm sweep never constructs it.
+/// Progress is observable through the "dse/sweep" / "dse/point" trace spans
+/// and the sweep_points counter rather than stderr chatter.
 [[nodiscard]] std::vector<DesignPoint> run_sweep(const std::vector<std::string>& specs,
                                                  const SweepOptions& opts = {});
 

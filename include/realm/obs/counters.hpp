@@ -27,6 +27,13 @@
 //   kPoolQueueWaitNs    summed ns between region publish and worker start
 //   kJpegBlocksEncoded  8x8 blocks through the forward DCT/quant/entropy path
 //   kJpegBlocksDecoded  8x8 blocks through the inverse path
+//   kStoreHits          campaign-store lookups served from the journal
+//   kStoreMisses        campaign-store lookups that missed
+//   kStoreBytesRead     journal bytes replayed clean on store open
+//   kStoreBytesWritten  journal bytes durably appended (records incl. headers)
+//   kCampaignUnitsResumed   work units skipped via a stored result
+//   kCampaignUnitsComputed  work units computed and recorded this run
+//   kSweepPoints        design points characterized by dse::run_sweep
 
 #pragma once
 
@@ -51,6 +58,13 @@ enum class Counter : unsigned {
   kPoolQueueWaitNs,
   kJpegBlocksEncoded,
   kJpegBlocksDecoded,
+  kStoreHits,
+  kStoreMisses,
+  kStoreBytesRead,
+  kStoreBytesWritten,
+  kCampaignUnitsResumed,
+  kCampaignUnitsComputed,
+  kSweepPoints,
   kCount
 };
 

@@ -10,6 +10,7 @@
 //   realm::hw     — netlists, simulation, power, Verilog, cost model
 //   realm::jpeg   — fixed-point JPEG application evaluation
 //   realm::dse    — design-space sweep and Pareto fronts
+//   realm::campaign — crash-safe result store + resumable campaign runner
 //
 // Quick start:
 //
@@ -19,6 +20,10 @@
 
 #pragma once
 
+#include "realm/campaign/cached_eval.hpp"
+#include "realm/campaign/record.hpp"
+#include "realm/campaign/result_store.hpp"
+#include "realm/campaign/runner.hpp"
 #include "realm/core/divider.hpp"
 #include "realm/core/lut.hpp"
 #include "realm/core/realm_multiplier.hpp"

@@ -1,0 +1,182 @@
+#include "realm/campaign/cached_eval.hpp"
+
+#include "realm/campaign/record.hpp"
+#include "realm/hw/circuits.hpp"
+#include "realm/hw/cost_model.hpp"
+#include "realm/hw/faults.hpp"
+#include "realm/hw/timing.hpp"
+
+namespace realm::campaign {
+
+std::string monte_carlo_key(const std::string& spec, int n,
+                            const err::MonteCarloOptions& opts) {
+  // opts.threads never changes the result (thread-count invariance) and is
+  // deliberately absent.
+  return RequestKey{"error_mc"}
+      .field("engine", kErrorEngineVersion)
+      .field("spec", spec)
+      .field("n", n)
+      .field("samples", opts.samples)
+      .field_hex("seed", opts.seed)
+      .str();
+}
+
+std::string synthesis_key(const std::string& spec, int n,
+                          const hw::StimulusProfile& profile) {
+  return RequestKey{"synthesis"}
+      .field("engine", kSynthesisEngineVersion)
+      .field("spec", spec)
+      .field("n", n)
+      .field("cycles", static_cast<std::uint64_t>(profile.cycles))
+      .field_hex("seed", profile.seed)
+      .field("toggle_rate", profile.toggle_rate)
+      .field("probability", profile.probability)
+      .field("glitches", static_cast<std::int64_t>(profile.count_glitches ? 1 : 0))
+      .str();
+}
+
+std::string fault_key(const std::string& spec, int n, int vectors,
+                      std::uint64_t seed, std::size_t max_sites) {
+  return RequestKey{"fault_sweep"}
+      .field("engine", kFaultEngineVersion)
+      .field("spec", spec)
+      .field("n", n)
+      .field("vectors", vectors)
+      .field_hex("seed", seed)
+      .field("max_sites", static_cast<std::uint64_t>(max_sites))
+      .str();
+}
+
+std::string serialize_error_metrics(const err::ErrorMetrics& m) {
+  return PayloadWriter{}
+      .field("bias", m.bias)
+      .field("mean", m.mean)
+      .field("variance", m.variance)
+      .field("min", m.min)
+      .field("max", m.max)
+      .field("samples", m.samples)
+      .str();
+}
+
+err::ErrorMetrics parse_error_metrics(const std::string& payload) {
+  const PayloadReader r{payload};
+  err::ErrorMetrics m;
+  m.bias = r.get_double("bias");
+  m.mean = r.get_double("mean");
+  m.variance = r.get_double("variance");
+  m.min = r.get_double("min");
+  m.max = r.get_double("max");
+  m.samples = r.get_u64("samples");
+  return m;
+}
+
+err::ErrorMetrics cached_monte_carlo(CampaignRunner* runner, const Multiplier& design,
+                                     const std::string& spec, int n,
+                                     const err::MonteCarloOptions& opts) {
+  if (runner == nullptr) return err::monte_carlo(design, opts);
+  const std::string payload =
+      runner->run_unit(monte_carlo_key(spec, n, opts), [&] {
+        return serialize_error_metrics(err::monte_carlo(design, opts));
+      });
+  // Both paths (fresh and resumed) decode the stored payload, so a campaign
+  // run's numbers are the store's numbers by construction.
+  return parse_error_metrics(payload);
+}
+
+namespace {
+
+[[nodiscard]] std::string serialize_synthesis(const SynthesisResult& s) {
+  return PayloadWriter{}
+      .field("area_um2", s.area_um2)
+      .field("power_uw", s.power_uw)
+      .field("area_reduction_pct", s.area_reduction_pct)
+      .field("power_reduction_pct", s.power_reduction_pct)
+      .field("delay_ps", s.delay_ps)
+      .str();
+}
+
+[[nodiscard]] SynthesisResult parse_synthesis(const std::string& payload) {
+  const PayloadReader r{payload};
+  SynthesisResult s;
+  s.area_um2 = r.get_double("area_um2");
+  s.power_uw = r.get_double("power_uw");
+  s.area_reduction_pct = r.get_double("area_reduction_pct");
+  s.power_reduction_pct = r.get_double("power_reduction_pct");
+  s.delay_ps = r.get_double("delay_ps");
+  return s;
+}
+
+[[nodiscard]] SynthesisResult compute_synthesis(hw::CostModel& cm,
+                                                const std::string& spec, int n) {
+  SynthesisResult s;
+  const hw::DesignCost& cost = cm.cost(spec);
+  s.area_um2 = cost.area_um2;
+  s.power_uw = cost.power_uw;
+  s.area_reduction_pct = cm.area_reduction_pct(spec);
+  s.power_reduction_pct = cm.power_reduction_pct(spec);
+  s.delay_ps = hw::analyze_timing(hw::build_circuit(spec, n)).critical_path_ps;
+  return s;
+}
+
+[[nodiscard]] std::string serialize_faults(const FaultSummary& f) {
+  return PayloadWriter{}
+      .field("gates", f.gates)
+      .field("sites_analyzed", f.sites_analyzed)
+      .field("sites_undetected", f.sites_undetected)
+      .field("mean_rel_error", f.mean_rel_error)
+      .field("worst_rel_error", f.worst_rel_error)
+      .str();
+}
+
+[[nodiscard]] FaultSummary parse_faults(const std::string& payload) {
+  const PayloadReader r{payload};
+  FaultSummary f;
+  f.gates = r.get_u64("gates");
+  f.sites_analyzed = r.get_u64("sites_analyzed");
+  f.sites_undetected = r.get_u64("sites_undetected");
+  f.mean_rel_error = r.get_double("mean_rel_error");
+  f.worst_rel_error = r.get_double("worst_rel_error");
+  return f;
+}
+
+[[nodiscard]] FaultSummary compute_faults(const std::string& spec, int n, int vectors,
+                                          std::uint64_t seed, std::size_t max_sites,
+                                          int threads) {
+  const hw::Module mod = hw::build_circuit(spec, n);
+  const hw::FaultReport r =
+      hw::analyze_fault_impact(mod, vectors, seed, max_sites, threads);
+  FaultSummary f;
+  f.gates = mod.gates().size();
+  f.sites_analyzed = r.sites_analyzed;
+  f.sites_undetected = r.sites_undetected;
+  f.mean_rel_error = r.mean_rel_error;
+  f.worst_rel_error = r.worst_rel_error;
+  return f;
+}
+
+}  // namespace
+
+SynthesisResult cached_synthesis(CampaignRunner* runner, const std::string& spec,
+                                 int n, const hw::StimulusProfile& profile,
+                                 const std::function<hw::CostModel&()>& model) {
+  if (runner == nullptr) return compute_synthesis(model(), spec, n);
+  const std::string payload =
+      runner->run_unit(synthesis_key(spec, n, profile),
+                       [&] { return serialize_synthesis(compute_synthesis(model(), spec, n)); });
+  return parse_synthesis(payload);
+}
+
+FaultSummary cached_fault_impact(CampaignRunner* runner, const std::string& spec,
+                                 int n, int vectors, std::uint64_t seed,
+                                 std::size_t max_sites, int threads) {
+  if (runner == nullptr) {
+    return compute_faults(spec, n, vectors, seed, max_sites, threads);
+  }
+  const std::string payload =
+      runner->run_unit(fault_key(spec, n, vectors, seed, max_sites), [&] {
+        return serialize_faults(compute_faults(spec, n, vectors, seed, max_sites, threads));
+      });
+  return parse_faults(payload);
+}
+
+}  // namespace realm::campaign

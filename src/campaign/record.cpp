@@ -1,0 +1,154 @@
+#include "realm/campaign/record.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace realm::campaign {
+
+namespace {
+
+// assert-only helper; compiled out under NDEBUG.
+[[nodiscard]] [[maybe_unused]] bool clean_token(std::string_view s) noexcept {
+  for (const char c : s) {
+    if (c == '|' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+[[nodiscard]] std::string format_double(double value) {
+  char buf[48];
+  // %a round-trips every finite double exactly through strtod.
+  std::snprintf(buf, sizeof buf, "%a", value);
+  return buf;
+}
+
+}  // namespace
+
+RequestKey::RequestKey(std::string_view kind) {
+  assert(clean_token(kind));
+  key_ = "realm-campaign/v";
+  key_ += std::to_string(kCampaignSchemaVersion);
+  key_ += '|';
+  key_ += kind;
+}
+
+RequestKey& RequestKey::field(std::string_view name, std::string_view value) {
+  assert(clean_token(name) && clean_token(value));
+  key_ += '|';
+  key_ += name;
+  key_ += '=';
+  key_ += value;
+  return *this;
+}
+
+RequestKey& RequestKey::field(std::string_view name, std::int64_t value) {
+  return field(name, std::string_view{std::to_string(value)});
+}
+
+RequestKey& RequestKey::field(std::string_view name, std::uint64_t value) {
+  return field(name, std::string_view{std::to_string(value)});
+}
+
+RequestKey& RequestKey::field_hex(std::string_view name, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(value));
+  return field(name, std::string_view{buf});
+}
+
+RequestKey& RequestKey::field(std::string_view name, double value) {
+  return field(name, std::string_view{format_double(value)});
+}
+
+PayloadWriter& PayloadWriter::field(std::string_view name, double value) {
+  text_ += name;
+  text_ += '=';
+  text_ += format_double(value);
+  text_ += '\n';
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::field(std::string_view name, std::uint64_t value) {
+  text_ += name;
+  text_ += '=';
+  text_ += std::to_string(value);
+  text_ += '\n';
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::field(std::string_view name, std::int64_t value) {
+  text_ += name;
+  text_ += '=';
+  text_ += std::to_string(value);
+  text_ += '\n';
+  return *this;
+}
+
+PayloadReader::PayloadReader(std::string_view text) : text_{text} {
+  std::size_t pos = 0;
+  while (pos < text_.size()) {
+    std::size_t eol = text_.find('\n', pos);
+    if (eol == std::string::npos) eol = text_.size();
+    const std::string_view line{text_.data() + pos, eol - pos};
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("campaign payload: malformed line '" +
+                               std::string{line} + "'");
+    }
+    fields_.emplace_back(std::string{line.substr(0, eq)},
+                         std::string{line.substr(eq + 1)});
+  }
+}
+
+const std::string& PayloadReader::raw(std::string_view name) const {
+  for (const auto& kv : fields_) {
+    if (kv.first == name) return kv.second;
+  }
+  throw std::runtime_error("campaign payload: missing field '" + std::string{name} +
+                           "'");
+}
+
+bool PayloadReader::has(std::string_view name) const {
+  for (const auto& kv : fields_) {
+    if (kv.first == name) return true;
+  }
+  return false;
+}
+
+double PayloadReader::get_double(std::string_view name) const {
+  const std::string& v = raw(name);
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::runtime_error("campaign payload: bad double in '" + std::string{name} +
+                             "=" + v + "'");
+  }
+  return d;
+}
+
+std::uint64_t PayloadReader::get_u64(std::string_view name) const {
+  const std::string& v = raw(name);
+  char* end = nullptr;
+  const unsigned long long u = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || v[0] == '-') {
+    throw std::runtime_error("campaign payload: bad u64 in '" + std::string{name} +
+                             "=" + v + "'");
+  }
+  return u;
+}
+
+std::int64_t PayloadReader::get_i64(std::string_view name) const {
+  const std::string& v = raw(name);
+  char* end = nullptr;
+  const long long i = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::runtime_error("campaign payload: bad i64 in '" + std::string{name} +
+                             "=" + v + "'");
+  }
+  return i;
+}
+
+}  // namespace realm::campaign

@@ -1,0 +1,370 @@
+#include "realm/campaign/result_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "realm/obs/counters.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace realm::campaign {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'R', 'E', 'A', 'L', 'M', 'S', 'T', '1'};
+constexpr std::uint32_t kRecordMagic = 0x31524352u;  // "RCR1" little-endian
+constexpr std::size_t kRecordHeaderBytes = 20;
+// Sanity bounds: a length field beyond these is corruption, not a record
+// (campaign keys are short strings, payloads a handful of lines).
+constexpr std::uint32_t kMaxKeyLen = 1u << 20;
+constexpr std::uint32_t kMaxPayloadLen = 1u << 26;
+
+void put_le32(unsigned char* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void put_le64(unsigned char* p, std::uint64_t v) noexcept {
+  put_le32(p, static_cast<std::uint32_t>(v));
+  put_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+[[nodiscard]] std::uint32_t get_le32(const unsigned char* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[nodiscard]] std::uint64_t get_le64(const unsigned char* p) noexcept {
+  return static_cast<std::uint64_t>(get_le32(p)) |
+         (static_cast<std::uint64_t>(get_le32(p + 4)) << 32);
+}
+
+[[nodiscard]] std::uint64_t fnv1a64_extend(std::uint64_t h,
+                                           std::string_view bytes) noexcept {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Checksum over LE(key_len) . LE(payload_len) . key . payload.
+[[nodiscard]] std::uint64_t record_checksum(std::string_view key,
+                                            std::string_view payload) noexcept {
+  unsigned char lens[8];
+  put_le32(lens, static_cast<std::uint32_t>(key.size()));
+  put_le32(lens + 4, static_cast<std::uint32_t>(payload.size()));
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a64_extend(h, std::string_view{reinterpret_cast<const char*>(lens), 8});
+  h = fnv1a64_extend(h, key);
+  h = fnv1a64_extend(h, payload);
+  return h;
+}
+
+void fsync_file(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) {
+    throw std::runtime_error("result store: flush failed for " + path);
+  }
+#ifndef _WIN32
+  if (::fsync(::fileno(f)) != 0) {
+    throw std::runtime_error("result store: fsync failed for " + path);
+  }
+#endif
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  return fnv1a64_extend(0xcbf29ce484222325ULL, bytes);
+}
+
+std::string content_hash_hex(std::string_view key) {
+  static const char* digits = "0123456789abcdef";
+  std::uint64_t h = fnv1a64(key);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+ResultStore::ResultStore(std::string path, Mode mode)
+    : path_{std::move(path)}, mode_{mode} {
+  namespace fs = std::filesystem;
+  if (mode_ == Mode::kReadWrite) {
+    const fs::path parent = fs::path{path_}.parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      fs::create_directories(parent, ec);  // best effort; fopen reports failure
+    }
+    // "a+b" creates the journal if missing and never truncates an existing
+    // one; reads and the append position are managed per-operation.
+    file_ = std::fopen(path_.c_str(), "a+b");
+  } else {
+    file_ = std::fopen(path_.c_str(), "rb");
+  }
+  if (file_ == nullptr) {
+    throw std::runtime_error("result store: cannot open " + path_);
+  }
+  std::lock_guard<std::mutex> lock{mu_};
+  try {
+    replay_journal_locked();
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
+  }
+}
+
+ResultStore::~ResultStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ResultStore::replay_journal_locked() {
+  std::fseek(file_, 0, SEEK_END);
+  const long end_long = std::ftell(file_);
+  const std::uint64_t file_size = end_long > 0 ? static_cast<std::uint64_t>(end_long) : 0;
+  std::fseek(file_, 0, SEEK_SET);
+
+  if (file_size == 0) {
+    if (mode_ == Mode::kReadWrite) {
+      if (std::fwrite(kFileMagic, 1, sizeof kFileMagic, file_) != sizeof kFileMagic) {
+        throw std::runtime_error("result store: cannot write header to " + path_);
+      }
+      fsync_file(file_, path_);
+      stats_.bytes_on_open = sizeof kFileMagic;
+    }
+    return;
+  }
+
+  char magic[sizeof kFileMagic];
+  if (file_size < sizeof kFileMagic ||
+      std::fread(magic, 1, sizeof kFileMagic, file_) != sizeof kFileMagic ||
+      std::memcmp(magic, kFileMagic, sizeof kFileMagic) != 0) {
+    // A short file could be our own torn header, but a wrong 8-byte magic
+    // means this is some other file — refuse rather than truncate it.
+    if (file_size >= sizeof kFileMagic) {
+      throw std::runtime_error("result store: " + path_ +
+                               " is not a realm campaign store (bad magic)");
+    }
+    if (mode_ == Mode::kReadWrite) {
+      // Torn header from a crash during creation: restart the journal.
+#ifndef _WIN32
+      if (::ftruncate(::fileno(file_), 0) != 0) {
+        throw std::runtime_error("result store: cannot truncate " + path_);
+      }
+#endif
+      std::fseek(file_, 0, SEEK_SET);
+      if (std::fwrite(kFileMagic, 1, sizeof kFileMagic, file_) != sizeof kFileMagic) {
+        throw std::runtime_error("result store: cannot write header to " + path_);
+      }
+      fsync_file(file_, path_);
+      stats_.torn_bytes_dropped = file_size;
+    }
+    stats_.bytes_on_open = sizeof kFileMagic;
+    return;
+  }
+
+  std::uint64_t good_end = sizeof kFileMagic;
+  std::string key;
+  std::string payload;
+  while (true) {
+    unsigned char header[kRecordHeaderBytes];
+    const std::size_t got = std::fread(header, 1, kRecordHeaderBytes, file_);
+    if (got == 0) break;  // clean EOF
+    if (got < kRecordHeaderBytes) break;  // torn header
+    const std::uint32_t rec_magic = get_le32(header);
+    const std::uint32_t key_len = get_le32(header + 4);
+    const std::uint32_t payload_len = get_le32(header + 8);
+    const std::uint64_t checksum = get_le64(header + 12);
+    if (rec_magic != kRecordMagic || key_len == 0 || key_len > kMaxKeyLen ||
+        payload_len > kMaxPayloadLen) {
+      break;  // corrupt header
+    }
+    key.resize(key_len);
+    payload.resize(payload_len);
+    if (std::fread(key.data(), 1, key_len, file_) != key_len) break;
+    if (payload_len > 0 &&
+        std::fread(payload.data(), 1, payload_len, file_) != payload_len) {
+      break;  // torn body
+    }
+    if (record_checksum(key, payload) != checksum) break;  // corrupt body
+
+    auto [it, inserted] = index_.try_emplace(key);
+    if (inserted) it->second.order = next_order_++;
+    it->second.payload = payload;  // latest record wins
+    ++stats_.records_replayed;
+    good_end += kRecordHeaderBytes + key_len + payload_len;
+  }
+
+  stats_.bytes_on_open = good_end;
+  stats_.torn_bytes_dropped = file_size - good_end;
+  obs::counter_add(obs::Counter::kStoreBytesRead, good_end);
+
+  if (stats_.torn_bytes_dropped > 0 && mode_ == Mode::kReadWrite) {
+#ifndef _WIN32
+    if (::ftruncate(::fileno(file_), static_cast<off_t>(good_end)) != 0) {
+      throw std::runtime_error("result store: cannot truncate torn tail of " + path_);
+    }
+#endif
+  }
+  // Leave the stream positioned at the recovered end for appends.
+  std::fseek(file_, static_cast<long>(good_end), SEEK_SET);
+}
+
+std::optional<std::string> ResultStore::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    obs::counter_add(obs::Counter::kStoreMisses, 1);
+    return std::nullopt;
+  }
+  obs::counter_add(obs::Counter::kStoreHits, 1);
+  return it->second.payload;
+}
+
+void ResultStore::put(const std::string& key, const std::string& payload) {
+  if (key.empty()) throw std::runtime_error("result store: empty key");
+  std::lock_guard<std::mutex> lock{mu_};
+  if (mode_ != Mode::kReadWrite) {
+    throw std::runtime_error("result store: put() on read-only store " + path_);
+  }
+  append_record_locked(key, payload);
+  auto [it, inserted] = index_.try_emplace(key);
+  if (inserted) it->second.order = next_order_++;
+  it->second.payload = payload;
+}
+
+void ResultStore::append_record_locked(const std::string& key,
+                                       const std::string& payload) {
+  unsigned char header[kRecordHeaderBytes];
+  put_le32(header, kRecordMagic);
+  put_le32(header + 4, static_cast<std::uint32_t>(key.size()));
+  put_le32(header + 8, static_cast<std::uint32_t>(payload.size()));
+  put_le64(header + 12, record_checksum(key, payload));
+  std::fseek(file_, 0, SEEK_END);
+  if (std::fwrite(header, 1, kRecordHeaderBytes, file_) != kRecordHeaderBytes ||
+      std::fwrite(key.data(), 1, key.size(), file_) != key.size() ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size())) {
+    throw std::runtime_error("result store: append failed for " + path_);
+  }
+  fsync_file(file_, path_);
+  const std::uint64_t bytes = kRecordHeaderBytes + key.size() + payload.size();
+  ++stats_.records_appended;
+  stats_.bytes_appended += bytes;
+  obs::counter_add(obs::Counter::kStoreBytesWritten, bytes);
+}
+
+bool ResultStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return index_.count(key) != 0;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return index_.size();
+}
+
+std::vector<std::string> ResultStore::keys() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  std::vector<const std::pair<const std::string, Entry>*> live;
+  live.reserve(index_.size());
+  for (const auto& kv : index_) live.push_back(&kv);
+  std::sort(live.begin(), live.end(),
+            [](const auto* a, const auto* b) { return a->second.order < b->second.order; });
+  std::vector<std::string> out;
+  out.reserve(live.size());
+  for (const auto* kv : live) out.push_back(kv->first);
+  return out;
+}
+
+ResultStore::Stats ResultStore::stats() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  Stats s = stats_;
+  s.records_live = index_.size();
+  return s;
+}
+
+std::uint64_t ResultStore::compact() {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (mode_ != Mode::kReadWrite) {
+    throw std::runtime_error("result store: compact() on read-only store " + path_);
+  }
+  const std::uint64_t total =
+      stats_.records_replayed + stats_.records_appended;
+  const std::uint64_t dropped =
+      total > index_.size() ? total - index_.size() : 0;
+
+  const std::string tmp_path = path_ + ".compact.tmp";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (tmp == nullptr) {
+    throw std::runtime_error("result store: cannot create " + tmp_path);
+  }
+  try {
+    if (std::fwrite(kFileMagic, 1, sizeof kFileMagic, tmp) != sizeof kFileMagic) {
+      throw std::runtime_error("result store: cannot write header to " + tmp_path);
+    }
+    // Stable first-seen order keeps listings and replay deterministic.
+    std::vector<const std::pair<const std::string, Entry>*> live;
+    live.reserve(index_.size());
+    for (const auto& kv : index_) live.push_back(&kv);
+    std::sort(live.begin(), live.end(), [](const auto* a, const auto* b) {
+      return a->second.order < b->second.order;
+    });
+    for (const auto* kv : live) {
+      const std::string& key = kv->first;
+      const std::string& payload = kv->second.payload;
+      unsigned char header[kRecordHeaderBytes];
+      put_le32(header, kRecordMagic);
+      put_le32(header + 4, static_cast<std::uint32_t>(key.size()));
+      put_le32(header + 8, static_cast<std::uint32_t>(payload.size()));
+      put_le64(header + 12, record_checksum(key, payload));
+      if (std::fwrite(header, 1, kRecordHeaderBytes, tmp) != kRecordHeaderBytes ||
+          std::fwrite(key.data(), 1, key.size(), tmp) != key.size() ||
+          (!payload.empty() &&
+           std::fwrite(payload.data(), 1, payload.size(), tmp) != payload.size())) {
+        throw std::runtime_error("result store: compact write failed for " + tmp_path);
+      }
+    }
+    fsync_file(tmp, tmp_path);
+  } catch (...) {
+    std::fclose(tmp);
+    std::remove(tmp_path.c_str());
+    throw;
+  }
+  std::fclose(tmp);
+
+  std::fclose(file_);
+  file_ = nullptr;
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path_, ec);
+  if (ec) {
+    std::remove(tmp_path.c_str());
+    // Reopen the original journal so the store stays usable.
+    file_ = std::fopen(path_.c_str(), "a+b");
+    throw std::runtime_error("result store: rename failed for " + tmp_path + ": " +
+                             ec.message());
+  }
+  file_ = std::fopen(path_.c_str(), "a+b");
+  if (file_ == nullptr) {
+    throw std::runtime_error("result store: cannot reopen " + path_ + " after compact");
+  }
+  std::fseek(file_, 0, SEEK_END);
+  // Replayed/appended tallies now describe the compacted journal.
+  stats_.records_replayed = index_.size();
+  stats_.records_appended = 0;
+  stats_.bytes_appended = 0;
+  return dropped;
+}
+
+}  // namespace realm::campaign

@@ -1,0 +1,67 @@
+#include "realm/campaign/runner.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
+
+namespace realm::campaign {
+
+namespace {
+
+// Process-wide computed-unit tally for the crash-injection hook, so the
+// injected kill is deterministic even if a bench builds several runners.
+std::atomic<std::uint64_t> g_computed_units{0};
+
+[[nodiscard]] std::uint64_t crash_after_from_env() noexcept {
+  const char* env = std::getenv("REALM_CAMPAIGN_CRASH_AFTER");
+  if (env == nullptr || env[0] == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return v;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(ResultStore* store, bool resume)
+    : store_{store}, resume_{resume}, crash_after_{crash_after_from_env()} {}
+
+std::string CampaignRunner::run_unit(const std::string& key,
+                                     const std::function<std::string()>& compute) {
+  if (resume_) {
+    if (auto cached = store_->get(key)) {
+      resumed_.fetch_add(1, std::memory_order_relaxed);
+      obs::counter_add(obs::Counter::kCampaignUnitsResumed, 1);
+      return *cached;
+    }
+  }
+  std::string payload;
+  {
+    REALM_TRACE_SCOPE("campaign/unit");
+    payload = compute();
+  }
+  store_->put(key, payload);  // durable (fsync'd) before the unit counts
+  computed_.fetch_add(1, std::memory_order_relaxed);
+  obs::counter_add(obs::Counter::kCampaignUnitsComputed, 1);
+  const std::uint64_t done = g_computed_units.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (crash_after_ != 0 && done >= crash_after_) {
+    std::fprintf(stderr,
+                 "campaign: injected crash after %llu computed units "
+                 "(REALM_CAMPAIGN_CRASH_AFTER)\n",
+                 static_cast<unsigned long long>(done));
+    std::_Exit(kCrashExitCode);  // simulate kill -9: no destructors, no flushes
+  }
+  return payload;
+}
+
+std::uint64_t CampaignRunner::units_resumed() const noexcept {
+  return resumed_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CampaignRunner::units_computed() const noexcept {
+  return computed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace realm::campaign

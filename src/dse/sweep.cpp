@@ -1,18 +1,44 @@
 #include "realm/dse/sweep.hpp"
 
-#include <chrono>
-#include <cstdio>
+#include <optional>
+#include <unordered_map>
 
+#include "realm/campaign/cached_eval.hpp"
 #include "realm/multipliers/registry.hpp"
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace realm::dse {
 
 std::vector<DesignPoint> run_sweep(const std::vector<std::string>& specs,
                                    const SweepOptions& opts) {
-  hw::CostModel cost_model{opts.n, opts.stimulus};
-  std::vector<DesignPoint> points;
-  points.reserve(specs.size());
+  REALM_TRACE_SCOPE("dse/sweep");
+
+  // Dedupe identical spec strings up front: each unique design is
+  // characterized exactly once and fanned back out in input order below.
+  std::unordered_map<std::string, std::size_t> unique_index;
+  std::vector<std::string> unique_specs;
   for (const auto& spec : specs) {
+    if (unique_index.try_emplace(spec, unique_specs.size()).second) {
+      unique_specs.push_back(spec);
+    }
+  }
+
+  // The calibration (accurate-reference synthesis) is the sweep's fixed
+  // cost; build it lazily so a fully campaign-warm run never pays it.
+  std::optional<hw::CostModel> cost_model;
+  const auto model_ref = [&]() -> hw::CostModel& {
+    if (!cost_model) {
+      REALM_TRACE_SCOPE("dse/calibrate");
+      cost_model.emplace(opts.n, opts.stimulus);
+    }
+    return *cost_model;
+  };
+
+  std::vector<DesignPoint> unique_points;
+  unique_points.reserve(unique_specs.size());
+  for (const auto& spec : unique_specs) {
+    REALM_TRACE_SCOPE("dse/point");
     const auto model = mult::make_multiplier(spec, opts.n);
     DesignPoint p;
     p.spec = spec;
@@ -20,23 +46,23 @@ std::vector<DesignPoint> run_sweep(const std::vector<std::string>& specs,
     // Characterization runs on the batched evaluation engine (persistent
     // pool + multiply_batch); REALM points also hit the shared SegmentLut
     // cache, so repeated (m, q) pairs across the sweep derive Eq. 11 once.
-    const auto t0 = std::chrono::steady_clock::now();
-    p.error = err::monte_carlo(*model, opts.monte_carlo);
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    p.cost = cost_model.cost(spec);
-    p.area_reduction_pct = cost_model.area_reduction_pct(spec);
-    p.power_reduction_pct = cost_model.power_reduction_pct(spec);
-    if (opts.verbose) {
-      const double sps =
-          secs > 0.0 ? static_cast<double>(opts.monte_carlo.samples) / secs : 0.0;
-      std::fprintf(stderr,
-                   "[sweep] %-22s %s area-red=%.1f%% power-red=%.1f%% (%.1f Msamples/s)\n",
-                   p.name.c_str(), p.error.summary().c_str(), p.area_reduction_pct,
-                   p.power_reduction_pct, sps / 1e6);
-    }
-    points.push_back(std::move(p));
+    // With a campaign attached, both halves are store units: completed ones
+    // replay from the journal instead of recomputing.
+    p.error = campaign::cached_monte_carlo(opts.campaign, *model, spec, opts.n,
+                                           opts.monte_carlo);
+    const auto syn =
+        campaign::cached_synthesis(opts.campaign, spec, opts.n, opts.stimulus, model_ref);
+    p.cost.area_um2 = syn.area_um2;
+    p.cost.power_uw = syn.power_uw;
+    p.area_reduction_pct = syn.area_reduction_pct;
+    p.power_reduction_pct = syn.power_reduction_pct;
+    obs::counter_add(obs::Counter::kSweepPoints, 1);
+    unique_points.push_back(std::move(p));
   }
+
+  std::vector<DesignPoint> points;
+  points.reserve(specs.size());
+  for (const auto& spec : specs) points.push_back(unique_points[unique_index.at(spec)]);
   return points;
 }
 

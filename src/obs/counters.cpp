@@ -30,6 +30,13 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kPoolQueueWaitNs: return "pool_queue_wait_ns";
     case Counter::kJpegBlocksEncoded: return "jpeg_blocks_encoded";
     case Counter::kJpegBlocksDecoded: return "jpeg_blocks_decoded";
+    case Counter::kStoreHits: return "store_hits";
+    case Counter::kStoreMisses: return "store_misses";
+    case Counter::kStoreBytesRead: return "store_bytes_read";
+    case Counter::kStoreBytesWritten: return "store_bytes_written";
+    case Counter::kCampaignUnitsResumed: return "campaign_units_resumed";
+    case Counter::kCampaignUnitsComputed: return "campaign_units_computed";
+    case Counter::kSweepPoints: return "sweep_points";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -1,9 +1,16 @@
 #include "realm/dse/pareto.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include "realm/campaign/result_store.hpp"
+#include "realm/campaign/runner.hpp"
 #include "realm/dse/sweep.hpp"
 
 using namespace realm;
@@ -143,4 +150,65 @@ TEST(Sweep, SmokeRunProducesConsistentPoints) {
   }
   // REALM4 must be more accurate than cALM.
   EXPECT_LT(pts[1].error.mean, pts[0].error.mean);
+}
+
+TEST(Sweep, DuplicateSpecsCharacterizedOnceInInputOrder) {
+  dse::SweepOptions opts;
+  opts.monte_carlo.samples = 1 << 12;
+  opts.stimulus.cycles = 100;
+  const std::vector<std::string> specs{"calm", "realm:m=4,t=0", "calm", "calm",
+                                       "realm:m=4,t=0"};
+  const auto pts = dse::run_sweep(specs, opts);
+  ASSERT_EQ(pts.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(pts[i].spec, specs[i]) << "results must stay in input order";
+  }
+  // Duplicates are the same characterization fanned out, not reruns.
+  EXPECT_EQ(std::memcmp(&pts[0].error.mean, &pts[2].error.mean, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&pts[0].error.mean, &pts[3].error.mean, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&pts[1].error.mean, &pts[4].error.mean, sizeof(double)), 0);
+  EXPECT_EQ(pts[0].cost.area_um2, pts[2].cost.area_um2);
+}
+
+TEST(Sweep, CampaignWarmSweepIsBitIdenticalToCold) {
+  const std::string store_path =
+      (std::filesystem::temp_directory_path() /
+       ("realm_test_sweep_" + std::to_string(::getpid()) + ".store"))
+          .string();
+  std::remove(store_path.c_str());
+
+  dse::SweepOptions opts;
+  opts.monte_carlo.samples = 1 << 12;
+  opts.stimulus.cycles = 100;
+  const std::vector<std::string> specs{"calm", "realm:m=4,t=0"};
+
+  realm::campaign::ResultStore store{store_path};
+  realm::campaign::CampaignRunner cold{&store, /*resume=*/false};
+  opts.campaign = &cold;
+  const auto cold_pts = dse::run_sweep(specs, opts);
+  EXPECT_EQ(cold.units_computed(), 2 * specs.size());  // error + synthesis units
+
+  realm::campaign::CampaignRunner warm{&store, /*resume=*/true};
+  opts.campaign = &warm;
+  const auto warm_pts = dse::run_sweep(specs, opts);
+  EXPECT_EQ(warm.units_resumed(), 2 * specs.size());
+  EXPECT_EQ(warm.units_computed(), 0u);
+
+  ASSERT_EQ(cold_pts.size(), warm_pts.size());
+  for (std::size_t i = 0; i < cold_pts.size(); ++i) {
+    EXPECT_EQ(cold_pts[i].spec, warm_pts[i].spec);
+    EXPECT_EQ(std::memcmp(&cold_pts[i].error.mean, &warm_pts[i].error.mean,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&cold_pts[i].error.bias, &warm_pts[i].error.bias,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&cold_pts[i].area_reduction_pct,
+                          &warm_pts[i].area_reduction_pct, sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&cold_pts[i].power_reduction_pct,
+                          &warm_pts[i].power_reduction_pct, sizeof(double)),
+              0);
+  }
+  std::remove(store_path.c_str());
 }

@@ -2,15 +2,24 @@
 """Validate bench output files against the realm-bench-v2 schema.
 
 Usage: check_bench_schema.py FILE [FILE ...]
+       check_bench_schema.py --equal-metrics FILE_A FILE_B
+       check_bench_schema.py --min-counter FILE NAME MIN
 
 Two file kinds are accepted:
   * BENCH_*.json — MetricsSink documents; must carry schema "realm-bench-v2"
     with `meta` (including the producing bench's name), `metrics`, the full
-    `counters` catalog, `gauges` and `spans` sections.
+    `counters` catalog (including the campaign-store hit/miss/bytes and
+    resumed-vs-computed unit counters), `gauges` and `spans` sections.
   * trace_*.json — Chrome trace-event exports; must hold a non-empty
     `traceEvents` list whose complete ("X") events carry name/ts/dur/pid/tid.
 
-Exits non-zero (listing every problem) if any file fails, so CI catches a
+--equal-metrics compares the `metrics` objects of two documents for exact
+equality (key set and values) — the crash/resume smoke uses it to prove an
+interrupted-then-resumed campaign reproduces the uninterrupted run bit for
+bit.  --min-counter asserts counters[NAME] >= MIN in one document, e.g. that
+a resumed run actually replayed units from the store.
+
+Exits non-zero (listing every problem) if any check fails, so CI catches a
 bench drifting off the unified schema the moment it happens.  Stdlib only.
 """
 
@@ -34,6 +43,13 @@ EXPECTED_COUNTERS = [
     "pool_queue_wait_ns",
     "jpeg_blocks_encoded",
     "jpeg_blocks_decoded",
+    "store_hits",
+    "store_misses",
+    "store_bytes_read",
+    "store_bytes_written",
+    "campaign_units_resumed",
+    "campaign_units_computed",
+    "sweep_points",
 ]
 
 EXPECTED_GAUGES = ["pool_workers"]
@@ -104,10 +120,69 @@ def check_file(path):
     return problems
 
 
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: top level is not a JSON object")
+    return doc
+
+
+def equal_metrics(path_a, path_b):
+    a, b = load(path_a).get("metrics"), load(path_b).get("metrics")
+    if not isinstance(a, dict) or not isinstance(b, dict):
+        print("FAIL --equal-metrics: one document has no 'metrics' object")
+        return 1
+    problems = []
+    for key in sorted(set(a) | set(b)):
+        if key not in a:
+            problems.append(f"only in {path_b}: {key!r}")
+        elif key not in b:
+            problems.append(f"only in {path_a}: {key!r}")
+        elif a[key] != b[key]:
+            problems.append(f"{key!r}: {a[key]!r} != {b[key]!r}")
+    if problems:
+        print(f"FAIL metrics of {path_a} and {path_b} differ")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"ok   metrics of {path_a} and {path_b} are identical ({len(a)} entries)")
+    return 0
+
+
+def min_counter(path, name, minimum):
+    counters = load(path).get("counters")
+    value = counters.get(name) if isinstance(counters, dict) else None
+    if not isinstance(value, int):
+        print(f"FAIL {path}: counter {name!r} missing or not an integer")
+        return 1
+    if value < minimum:
+        print(f"FAIL {path}: counter {name} = {value} < required {minimum}")
+        return 1
+    print(f"ok   {path}: counter {name} = {value} >= {minimum}")
+    return 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    try:
+        if argv[1] == "--equal-metrics":
+            if len(argv) != 4:
+                print("usage: check_bench_schema.py --equal-metrics FILE_A FILE_B",
+                      file=sys.stderr)
+                return 2
+            return equal_metrics(argv[2], argv[3])
+        if argv[1] == "--min-counter":
+            if len(argv) != 5:
+                print("usage: check_bench_schema.py --min-counter FILE NAME MIN",
+                      file=sys.stderr)
+                return 2
+            return min_counter(argv[2], argv[3], int(argv[4]))
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"FAIL {exc}")
+        return 1
     failed = False
     for path in argv[1:]:
         problems = check_file(path)

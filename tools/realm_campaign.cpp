@@ -1,0 +1,161 @@
+// realm_campaign — inspect and maintain campaign result stores.
+//
+//   realm_campaign list    --store=PATH          one line per live record
+//   realm_campaign inspect --store=PATH ID       full key + payload (ID is a
+//                                                content-hash prefix or key)
+//   realm_campaign stats   --store=PATH          journal/index summary
+//   realm_campaign verify  --store=PATH          replay-scan; fails (exit 1)
+//                                                on any torn/corrupt tail
+//   realm_campaign gc      --store=PATH          drop superseded duplicates
+//                                                (atomic rewrite)
+//
+// list/inspect/stats/verify open the journal read-only, so they are safe to
+// run against a store another process is actively appending to; gc needs
+// exclusive-enough access (it atomically replaces the journal).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "realm/campaign/result_store.hpp"
+
+using realm::campaign::ResultStore;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: realm_campaign <list|inspect|stats|verify|gc> --store=PATH "
+               "[ID]\n");
+  return 2;
+}
+
+[[nodiscard]] ResultStore open_store(const std::string& path, ResultStore::Mode mode) {
+  return ResultStore{path, mode};  // throws; caught in main
+}
+
+int cmd_list(ResultStore& store) {
+  const auto keys = store.keys();
+  for (const auto& key : keys) {
+    const auto payload = store.get(key);
+    std::printf("%s  %6zu B  %s\n", realm::campaign::content_hash_hex(key).c_str(),
+                payload ? payload->size() : 0, key.c_str());
+  }
+  std::printf("%zu live records in %s\n", keys.size(), store.path().c_str());
+  return 0;
+}
+
+int cmd_inspect(ResultStore& store, const std::string& id) {
+  std::vector<std::string> matches;
+  for (const auto& key : store.keys()) {
+    const std::string hash = realm::campaign::content_hash_hex(key);
+    if (key == id || hash.rfind(id, 0) == 0) matches.push_back(key);
+  }
+  if (matches.empty()) {
+    std::fprintf(stderr, "no record matches '%s'\n", id.c_str());
+    return 1;
+  }
+  if (matches.size() > 1) {
+    std::fprintf(stderr, "'%s' is ambiguous (%zu matches); use more hash digits\n",
+                 id.c_str(), matches.size());
+    return 1;
+  }
+  const std::string& key = matches.front();
+  const auto payload = store.get(key);
+  std::printf("hash:    %s\n", realm::campaign::content_hash_hex(key).c_str());
+  std::printf("key:     %s\n", key.c_str());
+  std::printf("payload (%zu bytes):\n%s", payload ? payload->size() : 0,
+              payload ? payload->c_str() : "");
+  return 0;
+}
+
+int cmd_stats(ResultStore& store) {
+  const auto s = store.stats();
+  std::printf("store:             %s\n", store.path().c_str());
+  std::printf("records replayed:  %llu\n",
+              static_cast<unsigned long long>(s.records_replayed));
+  std::printf("records live:      %llu\n",
+              static_cast<unsigned long long>(s.records_live));
+  std::printf("superseded:        %llu\n",
+              static_cast<unsigned long long>(s.records_replayed - s.records_live));
+  std::printf("journal bytes:     %llu\n",
+              static_cast<unsigned long long>(s.bytes_on_open));
+  std::printf("torn tail bytes:   %llu\n",
+              static_cast<unsigned long long>(s.torn_bytes_dropped));
+  return 0;
+}
+
+int cmd_verify(ResultStore& store) {
+  const auto s = store.stats();
+  std::printf("%llu records replayed clean, %llu live, %llu journal bytes\n",
+              static_cast<unsigned long long>(s.records_replayed),
+              static_cast<unsigned long long>(s.records_live),
+              static_cast<unsigned long long>(s.bytes_on_open));
+  if (s.torn_bytes_dropped != 0) {
+    std::fprintf(stderr,
+                 "verify FAILED: %llu torn/corrupt trailing bytes (a read-write "
+                 "open would truncate them)\n",
+                 static_cast<unsigned long long>(s.torn_bytes_dropped));
+    return 1;
+  }
+  std::printf("verify ok: journal is clean\n");
+  return 0;
+}
+
+int cmd_gc(const std::string& path) {
+  ResultStore store{path, ResultStore::Mode::kReadWrite};
+  const auto before = store.stats();
+  const std::uint64_t dropped = store.compact();
+  const auto after = store.stats();
+  std::printf("gc: dropped %llu superseded records, %llu live remain\n",
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(after.records_live));
+  if (before.torn_bytes_dropped != 0) {
+    std::printf("gc: also recovered a torn tail of %llu bytes on open\n",
+                static_cast<unsigned long long>(before.torn_bytes_dropped));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command;
+  std::string store_path;
+  std::string id;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--store=", 0) == 0) {
+      store_path = arg.substr(std::strlen("--store="));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage();
+    } else if (command.empty()) {
+      command = arg;
+    } else if (id.empty()) {
+      id = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (command.empty() || store_path.empty()) return usage();
+  if (command == "inspect" && id.empty()) {
+    std::fprintf(stderr, "inspect needs a record ID (hash prefix or full key)\n");
+    return 2;
+  }
+
+  try {
+    if (command == "gc") return cmd_gc(store_path);
+    ResultStore store = open_store(store_path, ResultStore::Mode::kReadOnly);
+    if (command == "list") return cmd_list(store);
+    if (command == "inspect") return cmd_inspect(store, id);
+    if (command == "stats") return cmd_stats(store);
+    if (command == "verify") return cmd_verify(store);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "realm_campaign: %s\n", e.what());
+    return 1;
+  }
+}
