@@ -29,6 +29,9 @@ struct Args {
   int image_size = 512;                            ///< JPEG evaluation images
   int threads = 0;  ///< parallelism (MC shards / gate-sim blocks); 0 = all cores
   bool full = false;  ///< use the paper's full 2^24 sample budget
+  int width = 0;           ///< --width=N: operand width for exhaustive benches
+  std::uint64_t rows = 0;  ///< --rows=N: row-subrange cap for exhaustive benches
+  bool exact = false;      ///< --exact: add exact exhaustive columns (table1)
   std::string trace_path;  ///< --trace=PATH: record spans, export Chrome JSON
   std::string json_path;   ///< --json=PATH: override the bench's BENCH_*.json
   std::string store_path;  ///< --store=PATH: attach a campaign result store
@@ -118,6 +121,14 @@ struct Args {
       } else if (arg.rfind("--threads=", 0) == 0) {
         a.threads = static_cast<int>(
             parse_ranged("--threads", val("--threads="), 0, 1u << 16));
+      } else if (arg.rfind("--width=", 0) == 0) {
+        a.width = static_cast<int>(
+            parse_ranged("--width", val("--width="), 2, 31));
+      } else if (arg.rfind("--rows=", 0) == 0) {
+        a.rows = parse_ranged("--rows", val("--rows="), 1,
+                              std::uint64_t{1} << 31);
+      } else if (arg == "--exact") {
+        a.exact = true;
       } else if (arg.rfind("--trace=", 0) == 0) {
         a.trace_path = val("--trace=");
         if (a.trace_path.empty()) {
@@ -145,8 +156,8 @@ struct Args {
       } else if (arg == "--help") {
         std::printf(
             "flags: --samples=N --cycles=N --vectors=N --image-size=N "
-            "--threads=N --full --trace=PATH --json=PATH --store=PATH "
-            "--resume\n");
+            "--threads=N --width=N --rows=N --exact --full --trace=PATH "
+            "--json=PATH --store=PATH --resume\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());

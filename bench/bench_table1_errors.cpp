@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -87,11 +89,84 @@ void bench_eval_engine(std::uint64_t samples, int threads, obs::MetricsSink& sin
   sink.metric("speedup_nt", batched_nt / scalar_nt);
 }
 
+// --exact: exhaustive ground truth vs the Monte-Carlo estimate, per design,
+// at a width where the full space is cheap (default 10 bits = 2^20 pairs).
+// The MC estimate's peaks can never exceed the exact ones (its input set is
+// a subset), and bias/mean should agree to O(1/sqrt(samples)) — this mode
+// prints the deltas so the sampling budget's adequacy is visible, and CI
+// smokes it.  Configurations unrealizable at the narrow width (e.g. t too
+// large to address the LUT) are skipped with a note.
+int run_exact_mode(const bench::Args& args, const bench::Campaign& camp) {
+  const int width = args.width > 0 ? args.width : 10;
+  const std::uint64_t hi = (std::uint64_t{1} << width) - 1;
+  err::MonteCarloOptions opts;
+  opts.samples = args.samples;
+  opts.threads = args.threads;
+
+  std::printf("Exact vs Monte-Carlo (width %d: %llu^2 pairs exact, %llu MC samples)\n",
+              width, static_cast<unsigned long long>(hi + 1),
+              static_cast<unsigned long long>(opts.samples));
+  bench::print_rule();
+  std::printf("%-22s %10s %10s %10s %10s %12s %12s\n", "design", "bias ex",
+              "bias mc", "mean ex", "mean mc", "d|bias|", "d|mean|");
+  bench::print_rule();
+
+  obs::MetricsSink sink{"table1_exact"};
+  std::printf("\nCSV:spec,bias_exact,bias_mc,mean_exact,mean_mc,min_exact,max_exact\n");
+  int evaluated = 0;
+  for (const auto& spec : mult::table1_specs()) {
+    std::unique_ptr<Multiplier> model;
+    try {
+      model = mult::make_multiplier(spec, width);
+    } catch (const std::exception&) {
+      std::printf("%-22s (not realizable at width %d — skipped)\n", spec.c_str(),
+                  width);
+      continue;
+    }
+    const auto ex =
+        campaign::cached_exhaustive(camp.runner(), *model, spec, width, 0, hi,
+                                    args.threads);
+    const auto mc = err::monte_carlo(*model, opts);
+    // Subset property: an MC estimate's peaks are bounded by the exact ones.
+    if (mc.min < ex.metrics.min || mc.max > ex.metrics.max) {
+      std::fprintf(stderr, "FATAL: MC peaks escape the exact envelope (%s)\n",
+                   spec.c_str());
+      return 1;
+    }
+    std::printf("%-22s %+9.3f %+9.3f %9.3f %9.3f %11.4f %11.4f\n",
+                model->name().c_str(), ex.metrics.bias, mc.bias, ex.metrics.mean,
+                mc.mean, std::fabs(mc.bias - ex.metrics.bias),
+                std::fabs(mc.mean - ex.metrics.mean));
+    std::printf("CSV:%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n", spec.c_str(),
+                ex.metrics.bias, mc.bias, ex.metrics.mean, mc.mean,
+                ex.metrics.min, ex.metrics.max);
+    sink.metric(spec + ".bias_exact", ex.metrics.bias);
+    sink.metric(spec + ".bias_mc", mc.bias);
+    sink.metric(spec + ".mean_exact", ex.metrics.mean);
+    sink.metric(spec + ".mean_mc", mc.mean);
+    sink.metric(spec + ".min_exact", ex.metrics.min);
+    sink.metric(spec + ".max_exact", ex.metrics.max);
+    sink.metric(spec + ".bias_delta", std::fabs(mc.bias - ex.metrics.bias));
+    sink.metric(spec + ".mean_delta", std::fabs(mc.mean - ex.metrics.mean));
+    ++evaluated;
+  }
+  bench::print_rule();
+  std::printf("note: exact values from the tiled exhaustive engine; MC peaks are\n"
+              "always inside the exact envelope (asserted above)\n");
+  sink.meta("width", width);
+  sink.meta("samples", opts.samples);
+  sink.meta("designs_evaluated", evaluated);
+  camp.describe(sink);
+  bench::write_outputs(args, sink, "bench_out/BENCH_table1_exact.json");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
   const bench::Campaign camp = bench::open_campaign(args);
+  if (args.exact) return run_exact_mode(args, camp);
   err::MonteCarloOptions opts;
   opts.samples = args.samples;
   opts.threads = args.threads;

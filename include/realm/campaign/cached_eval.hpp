@@ -33,6 +33,7 @@ namespace realm::campaign {
 
 /// Version tags folded into the request keys (bump on numeric changes).
 inline constexpr const char* kErrorEngineVersion = "batched-v1";
+inline constexpr const char* kExhaustiveEngineVersion = "tiled-v1";
 inline constexpr const char* kSynthesisEngineVersion = "packed-v1";
 inline constexpr const char* kFaultEngineVersion = "packed-v1";
 
@@ -40,6 +41,8 @@ inline constexpr const char* kFaultEngineVersion = "packed-v1";
 
 [[nodiscard]] std::string monte_carlo_key(const std::string& spec, int n,
                                           const err::MonteCarloOptions& opts);
+[[nodiscard]] std::string exhaustive_key(const std::string& spec, int n,
+                                         std::uint64_t lo, std::uint64_t hi);
 [[nodiscard]] std::string synthesis_key(const std::string& spec, int n,
                                         const hw::StimulusProfile& profile);
 [[nodiscard]] std::string fault_key(const std::string& spec, int n, int vectors,
@@ -49,6 +52,8 @@ inline constexpr const char* kFaultEngineVersion = "packed-v1";
 
 [[nodiscard]] std::string serialize_error_metrics(const err::ErrorMetrics& m);
 [[nodiscard]] err::ErrorMetrics parse_error_metrics(const std::string& payload);
+[[nodiscard]] std::string serialize_exhaustive_report(const err::ExhaustiveReport& r);
+[[nodiscard]] err::ExhaustiveReport parse_exhaustive_report(const std::string& payload);
 
 // -- memoized front ends ----------------------------------------------------
 
@@ -58,6 +63,19 @@ inline constexpr const char* kFaultEngineVersion = "packed-v1";
                                                    const Multiplier& design,
                                                    const std::string& spec, int n,
                                                    const err::MonteCarloOptions& opts);
+
+/// err::exhaustive_report through the campaign store.  Exact results are
+/// ideal memoization targets: the key is just (engine version, spec, n,
+/// range) — no seed, no sample budget — and a stored unit resumes a full
+/// 2^32 sweep in one journal read.  `threads` never enters the key (the
+/// tiled engine is thread-count invariant); histograms are not stored, so
+/// pass hist only through the direct path (runner == nullptr).
+[[nodiscard]] err::ExhaustiveReport cached_exhaustive(CampaignRunner* runner,
+                                                      const Multiplier& design,
+                                                      const std::string& spec, int n,
+                                                      std::uint64_t lo,
+                                                      std::uint64_t hi,
+                                                      int threads = 0);
 
 /// One design's calibrated synthesis record: the Table I design-metric
 /// columns plus critical-path delay.

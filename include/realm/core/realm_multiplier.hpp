@@ -58,6 +58,22 @@ class RealmMultiplier final : public Multiplier {
   void multiply_batch(const std::uint64_t* a, const std::uint64_t* b,
                       std::uint64_t* out, std::size_t n) const override;
 
+  /// Row-hoisted kernel: the fixed operand's leading-one position, truncated
+  /// log fraction and LUT segment row are computed once and kept in
+  /// registers, so the loop body carries only the variable operand's half of
+  /// the datapath.  Bit-identical to multiply() per element.
+  void multiply_row_batch(std::uint64_t a_fixed, const std::uint64_t* b,
+                          std::uint64_t* out, std::size_t n) const override;
+
+  /// Row kernel for ascending contiguous columns (the exhaustive engine's
+  /// inner loop).  Splits [b0, b0+n) at the powers of two: within a segment
+  /// the variable operand's characteristic k_b is constant, so the LOD
+  /// disappears, the normalize shift is fixed, and the final barrel shift
+  /// collapses to two constant shift pairs selected by the fraction carry.
+  /// Bit-identical to multiply() per element.
+  void multiply_row_range(std::uint64_t a_fixed, std::uint64_t b0,
+                          std::uint64_t* out, std::size_t n) const override;
+
   /// Product clamped to the usual 2N-bit output bus.
   [[nodiscard]] std::uint64_t multiply_saturated(std::uint64_t a, std::uint64_t b) const;
 

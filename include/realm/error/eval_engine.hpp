@@ -80,4 +80,24 @@ inline constexpr std::uint64_t kExhaustiveShards = 256;
 [[nodiscard]] ErrorMetrics monte_carlo_scalar_reference(const Multiplier& design,
                                                         const MonteCarloOptions& opts);
 
+/// The previous exhaustive() implementation kept verbatim: same shard grid
+/// and fold order, but each block materializes the broadcast fixed operand
+/// and the column iota into operand buffers and runs the generic
+/// multiply_batch kernel.  The tiled engine (exhaustive_report) must match
+/// it bit-for-bit — reduce_row_block performs the identical IEEE operations
+/// on the identical values in the identical order, only without the operand
+/// stores/loads — which the tests assert; benches report the row-hoisted
+/// speedup against it.
+[[nodiscard]] ErrorMetrics exhaustive_generic_reference(
+    const Multiplier& design, std::optional<std::uint64_t> lo = {},
+    std::optional<std::uint64_t> hi = {}, int threads = 0);
+
+/// Single-threaded per-pair virtual-dispatch exhaustive sweep (Welford
+/// accumulation, no batching).  The statistics baseline for tests and the
+/// scalar end of the bench's speedup ladder; not bit-identical to the
+/// batched engines (different summation order), only numerically close.
+[[nodiscard]] ErrorMetrics exhaustive_scalar_reference(
+    const Multiplier& design, std::optional<std::uint64_t> lo = {},
+    std::optional<std::uint64_t> hi = {});
+
 }  // namespace realm::err

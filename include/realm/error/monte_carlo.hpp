@@ -44,13 +44,57 @@ struct MonteCarloOptions {
                                                  Histogram* hist,
                                                  const MonteCarloOptions& opts = {});
 
+/// Operand pair realizing a peak relative error, recorded exactly (the
+/// integer inputs and the integer approximate product, not a rounded
+/// reconstruction).  `error` is the relative error in percent, matching
+/// ErrorMetrics units; `valid` is false when the swept range contained no
+/// pair with a nonzero exact product.
+struct PeakWitness {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t product = 0;  ///< design.multiply(a, b), exact integer
+  double error = 0.0;         ///< relative error at (a, b), percent
+  bool valid = false;
+};
+
+/// Full result of an exhaustive characterization: the usual metrics plus
+/// integer-exact witnesses of both peak errors and the total pair count
+/// (including skipped zero pairs).
+struct ExhaustiveReport {
+  ErrorMetrics metrics;
+  PeakWitness min_peak;      ///< witness of metrics.min (most negative)
+  PeakWitness max_peak;      ///< witness of metrics.max (most positive)
+  std::uint64_t pairs = 0;   ///< (hi - lo + 1)², all pairs enumerated
+};
+
 /// Exhaustive sweep over all (a, b) pairs with a, b in [lo, hi] (defaults to
-/// the full width() range).  Cost is (hi-lo+1)² multiplies, batched and
-/// parallelized by row ranges (threads: 0 = hardware concurrency);
-/// deterministic for any thread count.
+/// the full width() range), on the tiled fixed-operand engine: each row holds
+/// `a` constant and runs Multiplier::multiply_row_range over L2-resident
+/// column blocks, so per-row work (the fixed operand's LOD, log fraction and
+/// LUT segment row) is hoisted out of the inner loop.
+///
+/// Cost is exactly (hi - lo + 1)² products: the full 16-bit space is 2^32
+/// pairs (seconds per design on the row-hoisted kernels), the full 2N-bit
+/// space grows as 4^N — budget before calling (a 24-bit design is 2^48 pairs,
+/// i.e. ~6 core-hours per 10⁹ pairs/s, and 31 bits is out of reach).
+///
+/// Validation: throws std::invalid_argument unless lo <= hi and
+/// hi < 2^width().  Deterministic for any thread count: the shard grid
+/// depends only on the input range and shards merge in shard order.
 [[nodiscard]] ErrorMetrics exhaustive(const Multiplier& design,
                                       std::optional<std::uint64_t> lo = {},
                                       std::optional<std::uint64_t> hi = {},
                                       int threads = 0);
+
+/// exhaustive() with the full report: peak witnesses tracked integer-exactly
+/// (block-level rescan only when a block beats the running peak, so the
+/// common path stays vectorized) and an optional exact error histogram
+/// (percent units, per-shard private histograms merged in shard order).
+/// Same validation, determinism contract and cost formula as exhaustive().
+[[nodiscard]] ExhaustiveReport exhaustive_report(const Multiplier& design,
+                                                 Histogram* hist = nullptr,
+                                                 std::optional<std::uint64_t> lo = {},
+                                                 std::optional<std::uint64_t> hi = {},
+                                                 int threads = 0);
 
 }  // namespace realm::err

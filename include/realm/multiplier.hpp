@@ -13,6 +13,8 @@
 #include <functional>
 #include <string>
 
+#include "realm/obs/counters.hpp"
+
 namespace realm {
 
 class Multiplier {
@@ -42,6 +44,52 @@ class Multiplier {
   virtual void multiply_batch(const std::uint64_t* a, const std::uint64_t* b,
                               std::uint64_t* out, std::size_t n) const {
     for (std::size_t i = 0; i < n; ++i) out[i] = multiply(a[i], b[i]);
+  }
+
+  /// Fixed-operand row product: out[i] = multiply(a_fixed, b[i]) for i in
+  /// [0, n), bit-identical to n scalar calls.  This is the exhaustive
+  /// characterization engine's shape — a full-space sweep holds one operand
+  /// constant per row — and hot designs override it with kernels that compute
+  /// the fixed operand's leading-one position, truncated log fraction and
+  /// segment row once per call and keep them in registers, removing half the
+  /// datapath (including the data-dependent LOD on the fixed side) from the
+  /// inner loop.
+  ///
+  /// The base implementation broadcasts a_fixed into a stack block and
+  /// forwards to multiply_batch, so designs with a devirtualized batch kernel
+  /// but no row kernel still vectorize; each forwarded block is counted in
+  /// obs::Counter::kRowFallbackBatches.  `out` may not alias `b`.
+  virtual void multiply_row_batch(std::uint64_t a_fixed, const std::uint64_t* b,
+                                  std::uint64_t* out, std::size_t n) const {
+    constexpr std::size_t kChunk = 1024;
+    std::uint64_t a_rep[kChunk];
+    const std::size_t fill = n < kChunk ? n : kChunk;
+    for (std::size_t i = 0; i < fill; ++i) a_rep[i] = a_fixed;
+    std::size_t batches = 0;
+    for (std::size_t i0 = 0; i0 < n; i0 += kChunk, ++batches) {
+      const std::size_t len = n - i0 < kChunk ? n - i0 : kChunk;
+      multiply_batch(a_rep, b + i0, out + i0, len);
+    }
+    obs::counter_add(obs::Counter::kRowFallbackBatches, batches);
+  }
+
+  /// Contiguous-column row product: out[i] = multiply(a_fixed, b0 + i) for
+  /// i in [0, n), bit-identical to the scalar loop.  Exhaustive sweeps walk
+  /// ascending column ranges, so the variable operand's leading-one position
+  /// is monotone over the range; overriding designs split [b0, b0+n) at the
+  /// powers of two and run a constant-shift kernel per segment, which removes
+  /// the remaining LOD and turns the final barrel shift into two fixed
+  /// shifts.  The base implementation materializes the range in stack chunks
+  /// and forwards to multiply_row_batch.  `out` must not overlap the range.
+  virtual void multiply_row_range(std::uint64_t a_fixed, std::uint64_t b0,
+                                  std::uint64_t* out, std::size_t n) const {
+    constexpr std::size_t kChunk = 1024;
+    std::uint64_t b_iota[kChunk];
+    for (std::size_t i0 = 0; i0 < n; i0 += kChunk) {
+      const std::size_t len = n - i0 < kChunk ? n - i0 : kChunk;
+      for (std::size_t i = 0; i < len; ++i) b_iota[i] = b0 + i0 + i;
+      multiply_row_batch(a_fixed, b_iota, out + i0, len);
+    }
   }
 
   /// Human-readable design name including its configuration,

@@ -20,6 +20,13 @@ class MitchellMultiplier final : public Multiplier {
   [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
   void multiply_batch(const std::uint64_t* a, const std::uint64_t* b,
                       std::uint64_t* out, std::size_t n) const override;
+  /// Row-hoisted kernel: ka and the fixed log fraction computed once.
+  void multiply_row_batch(std::uint64_t a_fixed, const std::uint64_t* b,
+                          std::uint64_t* out, std::size_t n) const override;
+  /// Segmented contiguous-column kernel: constant kb per power-of-two
+  /// interval, final shift collapsed to two constant shift pairs.
+  void multiply_row_range(std::uint64_t a_fixed, std::uint64_t b0,
+                          std::uint64_t* out, std::size_t n) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] int width() const override { return n_; }
 

@@ -34,6 +34,12 @@
 //   kCampaignUnitsResumed   work units skipped via a stored result
 //   kCampaignUnitsComputed  work units computed and recorded this run
 //   kSweepPoints        design points characterized by dse::run_sweep
+//   kExhaustiveRows     rows with fixed-operand work hoisted by the tiled
+//                       exhaustive engine (one per multiply_row_range row)
+//   kExhaustiveTiles    row×column tiles executed by the exhaustive engine
+//   kRowFallbackBatches multiply_row_batch blocks served by the generic
+//                       broadcast-into-multiply_batch fallback (designs
+//                       without a row-hoisted kernel)
 
 #pragma once
 
@@ -65,6 +71,9 @@ enum class Counter : unsigned {
   kCampaignUnitsResumed,
   kCampaignUnitsComputed,
   kSweepPoints,
+  kExhaustiveRows,
+  kExhaustiveTiles,
+  kRowFallbackBatches,
   kCount
 };
 

@@ -21,6 +21,19 @@ std::string monte_carlo_key(const std::string& spec, int n,
       .str();
 }
 
+std::string exhaustive_key(const std::string& spec, int n, std::uint64_t lo,
+                           std::uint64_t hi) {
+  // No seed, no sample budget, no thread count: an exact result is fully
+  // determined by (engine, spec, n, range).
+  return RequestKey{"error_exhaustive"}
+      .field("engine", kExhaustiveEngineVersion)
+      .field("spec", spec)
+      .field("n", n)
+      .field("lo", lo)
+      .field("hi", hi)
+      .str();
+}
+
 std::string synthesis_key(const std::string& spec, int n,
                           const hw::StimulusProfile& profile) {
   return RequestKey{"synthesis"}
@@ -70,6 +83,45 @@ err::ErrorMetrics parse_error_metrics(const std::string& payload) {
   return m;
 }
 
+std::string serialize_exhaustive_report(const err::ExhaustiveReport& r) {
+  return PayloadWriter{}
+      .field("bias", r.metrics.bias)
+      .field("mean", r.metrics.mean)
+      .field("variance", r.metrics.variance)
+      .field("min", r.metrics.min)
+      .field("max", r.metrics.max)
+      .field("samples", r.metrics.samples)
+      .field("pairs", r.pairs)
+      .field("min_a", r.min_peak.a)
+      .field("min_b", r.min_peak.b)
+      .field("min_product", r.min_peak.product)
+      .field("min_error", r.min_peak.error)
+      .field("max_a", r.max_peak.a)
+      .field("max_b", r.max_peak.b)
+      .field("max_product", r.max_peak.product)
+      .field("max_error", r.max_peak.error)
+      .field("peaks_valid", std::uint64_t{r.min_peak.valid ? 1u : 0u})
+      .str();
+}
+
+err::ExhaustiveReport parse_exhaustive_report(const std::string& payload) {
+  const PayloadReader p{payload};
+  err::ExhaustiveReport r;
+  r.metrics.bias = p.get_double("bias");
+  r.metrics.mean = p.get_double("mean");
+  r.metrics.variance = p.get_double("variance");
+  r.metrics.min = p.get_double("min");
+  r.metrics.max = p.get_double("max");
+  r.metrics.samples = p.get_u64("samples");
+  r.pairs = p.get_u64("pairs");
+  const bool valid = p.get_u64("peaks_valid") != 0;
+  r.min_peak = {p.get_u64("min_a"), p.get_u64("min_b"), p.get_u64("min_product"),
+                p.get_double("min_error"), valid};
+  r.max_peak = {p.get_u64("max_a"), p.get_u64("max_b"), p.get_u64("max_product"),
+                p.get_double("max_error"), valid};
+  return r;
+}
+
 err::ErrorMetrics cached_monte_carlo(CampaignRunner* runner, const Multiplier& design,
                                      const std::string& spec, int n,
                                      const err::MonteCarloOptions& opts) {
@@ -81,6 +133,22 @@ err::ErrorMetrics cached_monte_carlo(CampaignRunner* runner, const Multiplier& d
   // Both paths (fresh and resumed) decode the stored payload, so a campaign
   // run's numbers are the store's numbers by construction.
   return parse_error_metrics(payload);
+}
+
+err::ExhaustiveReport cached_exhaustive(CampaignRunner* runner,
+                                        const Multiplier& design,
+                                        const std::string& spec, int n,
+                                        std::uint64_t lo, std::uint64_t hi,
+                                        int threads) {
+  if (runner == nullptr) {
+    return err::exhaustive_report(design, nullptr, lo, hi, threads);
+  }
+  const std::string payload =
+      runner->run_unit(exhaustive_key(spec, n, lo, hi), [&] {
+        return serialize_exhaustive_report(
+            err::exhaustive_report(design, nullptr, lo, hi, threads));
+      });
+  return parse_exhaustive_report(payload);
 }
 
 namespace {

@@ -1,5 +1,7 @@
 #include "realm/multipliers/mitchell.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -48,6 +50,64 @@ void mitchell_batch_kernel(const std::uint64_t* __restrict a,
   }
 }
 
+// Row-hoisted variant: the fixed operand's ka and truncated fraction are
+// scalar parameters (dbase = ka - f), leaving only the b-side LOD chain,
+// one add and the final shift in the loop.
+REALM_MULTIVERSION
+void mitchell_row_batch_kernel(const std::uint64_t* __restrict b,
+                               std::uint64_t* __restrict out, std::size_t n,
+                               std::uint64_t w, std::uint64_t t, std::uint64_t f,
+                               std::uint64_t fmask, std::uint64_t one_f,
+                               std::uint64_t one_w, std::uint64_t xf,
+                               std::int64_t dbase) {
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const std::uint64_t b0 = b[idx];
+    const std::uint64_t bv = b0 | static_cast<std::uint64_t>(b0 == 0);
+    const auto kb = 63u - static_cast<std::uint64_t>(std::countl_zero(bv));
+    const std::uint64_t yf = ((bv << (w - kb)) ^ one_w) >> t;
+
+    const std::uint64_t fsum = xf + yf;
+    const std::uint64_t c_of = fsum >> f;
+    const std::uint64_t frac = fsum & fmask;
+
+    const std::uint64_t significand = one_f | frac;
+    const auto d = dbase + static_cast<std::int64_t>(kb + c_of);
+    const std::uint64_t shl = significand << (static_cast<std::uint64_t>(d) & 63u);
+    const std::uint64_t shr = significand >> (static_cast<std::uint64_t>(-d) & 63u);
+    const std::uint64_t val = (d >= 0) ? shl : shr;
+    out[idx] = (b0 != 0) ? val : 0;
+  }
+}
+
+// Contiguous-column segment with constant kb: no LOD, fixed normalize shift,
+// and the final barrel shift reduced to two constant (shl, shr) pairs
+// selected by the fraction carry c_of in {0, 1}.
+REALM_MULTIVERSION
+void mitchell_row_segment_kernel(std::uint64_t b_first,
+                                 std::uint64_t* __restrict out, std::size_t n,
+                                 std::uint64_t norm_shift, std::uint64_t t,
+                                 std::uint64_t f, std::uint64_t fmask,
+                                 std::uint64_t one_f, std::uint64_t one_w,
+                                 std::uint64_t xf, std::uint64_t shl0,
+                                 std::uint64_t shr0, std::uint64_t shl1,
+                                 std::uint64_t shr1) {
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const std::uint64_t bb = b_first + idx;
+    const std::uint64_t yf = ((bb << norm_shift) ^ one_w) >> t;
+    const std::uint64_t fsum = xf + yf;
+    const std::uint64_t c_of = fsum >> f;
+    const std::uint64_t significand = one_f | (fsum & fmask);
+    const std::uint64_t v0 = (significand << shl0) >> shr0;
+    const std::uint64_t v1 = (significand << shl1) >> shr1;
+    out[idx] = (c_of != 0) ? v1 : v0;
+  }
+}
+
+constexpr void shift_pair(std::int64_t d, std::uint64_t& shl, std::uint64_t& shr) {
+  shl = d >= 0 ? static_cast<std::uint64_t>(d) : 0;
+  shr = d >= 0 ? 0 : static_cast<std::uint64_t>(-d);
+}
+
 }  // namespace
 
 MitchellMultiplier::MitchellMultiplier(int n, int t) : n_{n}, t_{t} {
@@ -85,6 +145,64 @@ void MitchellMultiplier::multiply_batch(const std::uint64_t* a, const std::uint6
   mitchell_batch_kernel(a, b, out, n, w, static_cast<std::uint64_t>(t_), f,
                         num::mask(static_cast<int>(f)), std::uint64_t{1} << f,
                         std::uint64_t{1} << w);
+}
+
+void MitchellMultiplier::multiply_row_batch(std::uint64_t a_fixed,
+                                            const std::uint64_t* b,
+                                            std::uint64_t* out, std::size_t n) const {
+  assert(num::fits(a_fixed, n_));
+  if (a_fixed == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const int w = n_ - 1;
+  const int f = w - t_;
+  const int ka = num::leading_one(a_fixed);
+  const std::uint64_t xf =
+      ((a_fixed ^ (std::uint64_t{1} << ka)) << (w - ka)) >> t_;
+  mitchell_row_batch_kernel(
+      b, out, n, static_cast<std::uint64_t>(w), static_cast<std::uint64_t>(t_),
+      static_cast<std::uint64_t>(f), num::mask(f), std::uint64_t{1} << f,
+      std::uint64_t{1} << w, xf,
+      static_cast<std::int64_t>(ka) - static_cast<std::int64_t>(f));
+}
+
+void MitchellMultiplier::multiply_row_range(std::uint64_t a_fixed, std::uint64_t b0,
+                                            std::uint64_t* out, std::size_t n) const {
+  assert(num::fits(a_fixed, n_) && (n == 0 || num::fits(b0 + n - 1, n_)));
+  if (n == 0) return;
+  if (a_fixed == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const int w = n_ - 1;
+  const int f = w - t_;
+  const int ka = num::leading_one(a_fixed);
+  const std::uint64_t xf =
+      ((a_fixed ^ (std::uint64_t{1} << ka)) << (w - ka)) >> t_;
+
+  std::uint64_t b = b0;
+  const std::uint64_t last = b0 + n - 1;
+  if (b == 0) {
+    out[0] = 0;
+    if (n == 1) return;
+    b = 1;
+  }
+  while (b <= last) {
+    const int kb = num::leading_one(b);
+    const std::uint64_t seg_last = std::min(last, (std::uint64_t{2} << kb) - 1);
+    const std::int64_t d0 =
+        static_cast<std::int64_t>(ka + kb) - static_cast<std::int64_t>(f);
+    std::uint64_t shl0 = 0, shr0 = 0, shl1 = 0, shr1 = 0;
+    shift_pair(d0, shl0, shr0);
+    shift_pair(d0 + 1, shl1, shr1);
+    mitchell_row_segment_kernel(
+        b, out + (b - b0), static_cast<std::size_t>(seg_last - b + 1),
+        static_cast<std::uint64_t>(w - kb), static_cast<std::uint64_t>(t_),
+        static_cast<std::uint64_t>(f), num::mask(f), std::uint64_t{1} << f,
+        std::uint64_t{1} << w, xf, shl0, shr0, shl1, shr1);
+    b = seg_last + 1;
+  }
 }
 
 std::string MitchellMultiplier::name() const {

@@ -37,6 +37,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kCampaignUnitsResumed: return "campaign_units_resumed";
     case Counter::kCampaignUnitsComputed: return "campaign_units_computed";
     case Counter::kSweepPoints: return "sweep_points";
+    case Counter::kExhaustiveRows: return "exhaustive_rows";
+    case Counter::kExhaustiveTiles: return "exhaustive_tiles";
+    case Counter::kRowFallbackBatches: return "row_fallback_batches";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -4,6 +4,7 @@
 Usage: check_bench_schema.py FILE [FILE ...]
        check_bench_schema.py --equal-metrics FILE_A FILE_B
        check_bench_schema.py --min-counter FILE NAME MIN
+       check_bench_schema.py --min-speedup FILE MIN
 
 Two file kinds are accepted:
   * BENCH_*.json — MetricsSink documents; must carry schema "realm-bench-v2"
@@ -17,7 +18,10 @@ Two file kinds are accepted:
 equality (key set and values) — the crash/resume smoke uses it to prove an
 interrupted-then-resumed campaign reproduces the uninterrupted run bit for
 bit.  --min-counter asserts counters[NAME] >= MIN in one document, e.g. that
-a resumed run actually replayed units from the store.
+a resumed run actually replayed units from the store.  --min-speedup asserts
+metrics["speedup_row_vs_generic"] >= MIN in a BENCH_exhaustive.json document
+— the CI gate for the row-hoisted exhaustive kernels (the issue's >= 2.5x
+acceptance criterion on REALM16).
 
 Exits non-zero (listing every problem) if any check fails, so CI catches a
 bench drifting off the unified schema the moment it happens.  Stdlib only.
@@ -50,6 +54,9 @@ EXPECTED_COUNTERS = [
     "campaign_units_resumed",
     "campaign_units_computed",
     "sweep_points",
+    "exhaustive_rows",
+    "exhaustive_tiles",
+    "row_fallback_batches",
 ]
 
 EXPECTED_GAUGES = ["pool_workers"]
@@ -150,6 +157,19 @@ def equal_metrics(path_a, path_b):
     return 0
 
 
+def min_speedup(path, minimum):
+    metrics = load(path).get("metrics")
+    value = metrics.get("speedup_row_vs_generic") if isinstance(metrics, dict) else None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        print(f"FAIL {path}: metric 'speedup_row_vs_generic' missing or not a number")
+        return 1
+    if value < minimum:
+        print(f"FAIL {path}: speedup_row_vs_generic = {value:.2f} < required {minimum}")
+        return 1
+    print(f"ok   {path}: speedup_row_vs_generic = {value:.2f} >= {minimum}")
+    return 0
+
+
 def min_counter(path, name, minimum):
     counters = load(path).get("counters")
     value = counters.get(name) if isinstance(counters, dict) else None
@@ -180,6 +200,12 @@ def main(argv):
                       file=sys.stderr)
                 return 2
             return min_counter(argv[2], argv[3], int(argv[4]))
+        if argv[1] == "--min-speedup":
+            if len(argv) != 4:
+                print("usage: check_bench_schema.py --min-speedup FILE MIN",
+                      file=sys.stderr)
+                return 2
+            return min_speedup(argv[2], float(argv[3]))
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"FAIL {exc}")
         return 1
