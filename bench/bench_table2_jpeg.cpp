@@ -30,7 +30,10 @@ int main(int argc, char** argv) {
       const auto mul = mult::make_multiplier(specs[si], 16);
       jpeg::CodecOptions opts;
       opts.quality = 50;
-      opts.umul = mul->as_function();
+      // Batched panel engine (bit-identical to the scalar reference path);
+      // --threads=N shards the block passes, 0 = all hardware threads.
+      opts.mul = mul.get();
+      opts.threads = args.threads;
       psnr[ii][si] = jpeg::psnr(images[ii].image, jpeg::roundtrip(images[ii].image, opts));
     }
   }
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
   obs::MetricsSink sink{"table2_jpeg"};
   sink.meta("quality", 50);
   sink.meta("image_size", args.image_size);
+  sink.meta("threads", args.threads);
   for (std::size_t ii = 0; ii < images.size(); ++ii) {
     for (std::size_t si = 0; si < specs.size(); ++si) {
       sink.metric("psnr/" + std::string{images[ii].name} + "/" + specs[si],

@@ -13,6 +13,10 @@
 #include "realm/jpeg/image.hpp"
 #include "realm/numeric/fixed_point.hpp"
 
+namespace realm {
+class Multiplier;
+}  // namespace realm
+
 namespace realm::dsp {
 
 /// Normalized 2-D Gaussian kernel, size×size taps (size odd).
@@ -31,5 +35,20 @@ namespace realm::dsp {
 /// Sobel gradient magnitude (|Gx| + |Gy|, clamped to 8 bits); the gradient
 /// products go through the multiplier under test.
 [[nodiscard]] jpeg::Image sobel(const jpeg::Image& img, const num::UMulFn& umul);
+
+/// Batched convolution: each tap is fixed across an image row, so the filter
+/// issues one num::signed_row_batch per (ky, kx) tap over a border-replicated
+/// row of pixels, landing on the multiplier's row-hoisted kernels instead of
+/// one virtual multiply per product.  Pixels are bit-identical to convolve
+/// with umul = mul.multiply: identical tap-first products accumulated in the
+/// same ky-major, kx-minor order with the same zero-tap skips.
+[[nodiscard]] jpeg::Image convolve_batch(const jpeg::Image& img,
+                                         const std::vector<double>& kernel, int size,
+                                         const Multiplier& mul, int frac_bits = 10);
+
+/// Batched counterparts of gaussian_blur / sobel (same bit-identity contract).
+[[nodiscard]] jpeg::Image gaussian_blur_batch(const jpeg::Image& img, double sigma,
+                                              const Multiplier& mul);
+[[nodiscard]] jpeg::Image sobel_batch(const jpeg::Image& img, const Multiplier& mul);
 
 }  // namespace realm::dsp

@@ -18,19 +18,36 @@
 #include "realm/jpeg/image.hpp"
 #include "realm/numeric/fixed_point.hpp"
 
+namespace realm {
+class Multiplier;
+}  // namespace realm
+
 namespace realm::jpeg {
 
 struct CodecOptions {
   int quality = 50;
   num::UMulFn umul;  ///< multiplier for the DCT/IDCT datapath; empty = exact
-  /// Route dequantization through `umul` as well.  Off by default: the
-  /// dequantizer multiplies by one of 64 *known constants*, which hardware
-  /// implements as shift-add constant multipliers — the design under test
-  /// replaces the general-purpose MAC multipliers of the transform.  (The
-  /// JPEG ablation bench exercises both settings; the frequent power-of-two
-  /// quantizer constants otherwise excite the log-multipliers' x = 0 ridge
-  /// coherently across stages.)
+  /// Route dequantization through the multiplier under test as well.  Off by
+  /// default: the dequantizer multiplies by one of 64 *known constants*,
+  /// which hardware implements as shift-add constant multipliers — the
+  /// design under test replaces the general-purpose MAC multipliers of the
+  /// transform.  (The JPEG ablation bench exercises both settings; the
+  /// frequent power-of-two quantizer constants otherwise excite the
+  /// log-multipliers' x = 0 ridge coherently across stages.)
   bool approximate_dequant = false;
+  /// Batched panel engine: when set, encode/decode route the DCT, the IDCT
+  /// and (with approximate_dequant) the dequantizer through this design's
+  /// devirtualized multiply_row_batch kernels — W blocks per call instead of
+  /// one virtual multiply per product — and shard the block passes over the
+  /// persistent thread pool per `threads`.  Output is bit-identical to the
+  /// scalar reference path with umul = mul->as_function(); `umul` is
+  /// ignored while `mul` is set.  Not owned; must outlive the call.
+  const Multiplier* mul = nullptr;
+  /// Parallelism of the batched engine's block shards (1 = serial, 0 = all
+  /// hardware threads).  Encoded bytes and decoded pixels are invariant to
+  /// this by construction: the shard grid is a fixed function of the block
+  /// count and shards write disjoint block-index ranges.
+  int threads = 1;
 };
 
 struct Compressed {
@@ -66,11 +83,23 @@ void write_compressed(const Compressed& c, const std::string& path);
 
 /// Plane-level API (used by the color extension): same pipeline with an
 /// explicit quantization table instead of the quality-scaled luminance one.
+/// Dispatches to the batched panel engine when opts.mul is set, else to the
+/// scalar reference path.
 [[nodiscard]] Compressed encode_plane(const Image& img,
                                       const std::array<std::uint16_t, 64>& qtable,
                                       const CodecOptions& opts);
 [[nodiscard]] Image decode_plane(const Compressed& c,
                                  const std::array<std::uint16_t, 64>& qtable,
                                  const CodecOptions& opts);
+
+/// The retained scalar paths — one virtual multiply per product through
+/// opts.umul, single-threaded — kept as the bit-identity cross-check for
+/// the batched engine (opts.mul is ignored here).
+[[nodiscard]] Compressed encode_plane_reference(const Image& img,
+                                                const std::array<std::uint16_t, 64>& qtable,
+                                                const CodecOptions& opts);
+[[nodiscard]] Image decode_plane_reference(const Compressed& c,
+                                           const std::array<std::uint16_t, 64>& qtable,
+                                           const CodecOptions& opts);
 
 }  // namespace realm::jpeg

@@ -9,9 +9,14 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "realm/numeric/fixed_point.hpp"
+
+namespace realm {
+class Multiplier;
+}  // namespace realm
 
 namespace realm::jpeg {
 
@@ -24,9 +29,32 @@ namespace realm::jpeg {
 /// Divide-with-rounding quantizer.
 [[nodiscard]] std::int16_t quantize(std::int32_t coeff, std::uint16_t q) noexcept;
 
-/// Dequantize through the (possibly approximate) multiplier.
+/// Quantize `n_blocks` consecutive 64-coefficient blocks, bit-identical to
+/// per-coefficient quantize().  The division is replaced by a per-position
+/// fixed-point reciprocal hoisted once per call: with n = |coeff| + q/2 <
+/// 2^16 and q <= 255, (n * ceil(2^24 / q)) >> 24 equals n / q exactly
+/// (the error term n·(q·ceil(2^24/q) - 2^24) < n·q < 2^24 cannot carry
+/// into the quotient).  `levels` may not alias `coeffs`.
+void quantize_panel(const std::int16_t* coeffs,
+                    const std::array<std::uint16_t, 64>& qtable, std::int16_t* levels,
+                    std::size_t n_blocks) noexcept;
+
+/// Dequantize through the (possibly approximate) multiplier.  The quantizer
+/// constant is the first (hardware-resident) operand — the same side the
+/// batched panel holds fixed — so the scalar reference and dequantize_panel
+/// issue identical products even for non-commutative approximate designs.
 [[nodiscard]] std::int32_t dequantize(std::int16_t level, std::uint16_t q,
                                       const num::UMulFn& umul);
+
+/// Dequantize `n_blocks` consecutive 64-level blocks into 16-bit-saturated
+/// coefficients, one multiply_row_batch per coefficient position (the table
+/// entry is fixed across blocks).  `mul == nullptr` multiplies exactly —
+/// the codec default, where the constant dequantizer is not the design under
+/// test.  Bit-identical to the scalar dequantize + sat_signed(·, 16) path.
+/// `out` may not alias `levels`.
+void dequantize_panel(const std::int16_t* levels,
+                      const std::array<std::uint16_t, 64>& qtable, std::int16_t* out,
+                      std::size_t n_blocks, const Multiplier* mul);
 
 /// Zigzag scan order: zigzag_order()[i] is the row-major index of the i-th
 /// zigzag position.

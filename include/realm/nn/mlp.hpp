@@ -16,6 +16,10 @@
 
 #include "realm/numeric/fixed_point.hpp"
 
+namespace realm {
+class Multiplier;
+}  // namespace realm
+
 namespace realm::nn {
 
 /// 2-D binary classification set.
@@ -59,11 +63,26 @@ class Mlp {
   std::vector<std::vector<double>> biases_;
 };
 
-/// Fixed-point inference with the multiplier under test.
+/// Fixed-point inference with the multiplier under test.  Scalar reference
+/// path: one virtual multiply per MAC, one sample per call.
 [[nodiscard]] int predict_fixed(const Mlp::Quantized& net, const std::array<double, 2>& x,
                                 const num::UMulFn& umul);
 
 [[nodiscard]] double accuracy_fixed(const Mlp::Quantized& net, const Dataset& data,
                                     const num::UMulFn& umul);
+
+/// Batched fixed-point inference: the whole input batch runs through each
+/// layer as per-weight row batches — for every (output neuron o, input i)
+/// the weight w[o][i] is fixed across the batch, so the matvec issues one
+/// num::signed_row_batch over the samples' i-th activations per weight,
+/// landing on the multiplier's row-hoisted kernels.  Per-sample results are
+/// bit-identical to predict_fixed with umul = mul.multiply: identical
+/// products accumulated in the same order (i ascending per neuron).
+[[nodiscard]] std::vector<int> predict_fixed_batch(
+    const Mlp::Quantized& net, const std::vector<std::array<double, 2>>& xs,
+    const Multiplier& mul);
+
+[[nodiscard]] double accuracy_fixed_batch(const Mlp::Quantized& net, const Dataset& data,
+                                          const Multiplier& mul);
 
 }  // namespace realm::nn

@@ -40,6 +40,12 @@
 //   kRowFallbackBatches multiply_row_batch blocks served by the generic
 //                       broadcast-into-multiply_batch fallback (designs
 //                       without a row-hoisted kernel)
+//   kDctBlocksBatched   8x8 blocks transformed by the panel DCT/IDCT engine
+//                       (forward + inverse; counted once per panel call)
+//   kNnMacsBatched      fixed-point MLP MACs issued through the batched
+//                       matvec path (products, counted once per forward)
+//   kDspTapsBatched     tap x pixel products issued through the batched
+//                       FIR/Sobel row engine (counted once per image)
 
 #pragma once
 
@@ -74,6 +80,9 @@ enum class Counter : unsigned {
   kExhaustiveRows,
   kExhaustiveTiles,
   kRowFallbackBatches,
+  kDctBlocksBatched,
+  kNnMacsBatched,
+  kDspTapsBatched,
   kCount
 };
 

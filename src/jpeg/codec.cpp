@@ -5,10 +5,13 @@
 #include <fstream>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "realm/jpeg/dct.hpp"
 #include "realm/jpeg/huffman.hpp"
 #include "realm/jpeg/quant.hpp"
+#include "realm/multiplier.hpp"
+#include "realm/numeric/thread_pool.hpp"
 #include "realm/obs/counters.hpp"
 #include "realm/obs/trace.hpp"
 
@@ -50,6 +53,19 @@ struct BlockCodes {
   std::vector<std::pair<int, std::pair<std::uint32_t, int>>> tokens;  // (symbol, (extra, bits))
 };
 
+// Fixed shard granularity for the batched engine's parallel block passes.
+// The shard grid depends only on the block count — never the thread count —
+// and every shard writes its own block-index range, so encoded bytes and
+// decoded pixels are invariant to the parallelism actually achieved (the
+// MC / packed-sim sharding discipline).
+constexpr std::size_t kCodecShardBlocks = 32;
+
+unsigned resolve_threads(int requested) {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 num::UMulFn effective_mul(const CodecOptions& opts) {
   if (opts.umul) return opts.umul;
   return [](std::uint64_t a, std::uint64_t b) { return a * b; };
@@ -61,8 +77,7 @@ num::UMulFn dequant_mul(const CodecOptions& opts) {
 }
 
 void forward_block(const Image& img, int bx, int by, const num::UMulFn& mul,
-                   const std::array<std::uint16_t, 64>& qtable,
-                   std::array<std::int16_t, 64>& levels) {
+                   const std::array<std::uint16_t, 64>& qtable, std::int16_t* levels) {
   std::array<std::int16_t, 64> block{};
   for (int y = 0; y < 8; ++y) {
     for (int x = 0; x < 8; ++x) {
@@ -72,65 +87,29 @@ void forward_block(const Image& img, int bx, int by, const num::UMulFn& mul,
   }
   std::array<std::int16_t, 64> coeffs{};
   fdct8x8(block, coeffs, mul);
-  for (int i = 0; i < 64; ++i) {
-    levels[static_cast<std::size_t>(i)] = quantize(coeffs[static_cast<std::size_t>(i)],
-                                                   qtable[static_cast<std::size_t>(i)]);
+  for (std::size_t i = 0; i < 64; ++i) {
+    levels[i] = quantize(coeffs[i], qtable[i]);
   }
 }
 
-void inverse_block(const std::array<std::int16_t, 64>& levels,
-                   const std::array<std::uint16_t, 64>& qtable, const num::UMulFn& mul,
-                   const num::UMulFn& dq_mul, Image& img, int bx, int by) {
-  std::array<std::int16_t, 64> coeffs{};
-  for (int i = 0; i < 64; ++i) {
-    coeffs[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(num::sat_signed(
-        dequantize(levels[static_cast<std::size_t>(i)], qtable[static_cast<std::size_t>(i)],
-                   dq_mul),
-        16));
-  }
-  std::array<std::int16_t, 64> pixels{};
-  idct8x8(coeffs, pixels, mul);
-  for (int y = 0; y < 8; ++y) {
-    for (int x = 0; x < 8; ++x) {
-      const int v = pixels[static_cast<std::size_t>(y * 8 + x)] + 128;
-      img.set(bx + x, by + y, static_cast<std::uint8_t>(std::clamp(v, 0, 255)));
-    }
-  }
-}
-
-}  // namespace
-
-std::size_t Compressed::size_bytes() const noexcept {
-  return payload.size() + dc_code_lengths.size() + ac_code_lengths.size() + 16;
-}
-
-Compressed encode(const Image& img, const CodecOptions& opts) {
-  return encode_plane(img, scaled_table(opts.quality), opts);
-}
-
-Compressed encode_plane(const Image& img, const std::array<std::uint16_t, 64>& qtable,
-                        const CodecOptions& opts) {
-  if (img.width() % 8 != 0 || img.height() % 8 != 0) {
-    throw std::invalid_argument("encode: dimensions must be multiples of 8");
-  }
-  REALM_TRACE_SCOPE("jpeg/encode");
-  const num::UMulFn mul = effective_mul(opts);
+// Entropy stage shared verbatim by the reference and batched encoders: the
+// two engines differ only in how the quantized `levels` array is produced,
+// so byte-identity of the bitstream reduces to bit-identity of the levels.
+Compressed entropy_encode(const Image& img, const std::vector<std::int16_t>& levels) {
   const auto& zz = zigzag_order();
+  const std::size_t n_blocks = levels.size() / 64;
 
-  // Pass 1: transform all blocks, tokenize, gather symbol statistics.
   std::vector<BlockCodes> blocks;
+  blocks.reserve(n_blocks);
   std::vector<std::uint64_t> dc_freq(kDcSymbols, 0);
   std::vector<std::uint64_t> ac_freq(kAcSymbols, 0);
   int prev_dc = 0;
   {
-  REALM_TRACE_SCOPE("jpeg/encode/transform");
-  for (int by = 0; by < img.height(); by += 8) {
-    for (int bx = 0; bx < img.width(); bx += 8) {
-      std::array<std::int16_t, 64> levels{};
-      forward_block(img, bx, by, mul, qtable, levels);
-
+    REALM_TRACE_SCOPE("jpeg/encode/tokenize");
+    for (std::size_t bi = 0; bi < n_blocks; ++bi) {
+      const std::int16_t* lv = levels.data() + bi * 64;
       BlockCodes bc;
-      const int dc = levels[0];
+      const int dc = lv[0];
       const int diff = dc - prev_dc;
       prev_dc = dc;
       const int dcat = category(diff);
@@ -139,7 +118,7 @@ Compressed encode_plane(const Image& img, const std::array<std::uint16_t, 64>& q
 
       int run = 0;
       for (int i = 1; i < 64; ++i) {
-        const int v = levels[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])];
+        const int v = lv[zz[static_cast<std::size_t>(i)]];
         if (v == 0) {
           ++run;
           continue;
@@ -162,7 +141,6 @@ Compressed encode_plane(const Image& img, const std::array<std::uint16_t, 64>& q
       blocks.push_back(std::move(bc));
     }
   }
-  }
   obs::counter_add(obs::Counter::kJpegBlocksEncoded, blocks.size());
 
   // Huffman table derivation from the gathered statistics.
@@ -175,7 +153,6 @@ Compressed encode_plane(const Image& img, const std::array<std::uint16_t, 64>& q
   const HuffmanCode& dc_code = *dc_built;
   const HuffmanCode& ac_code = *ac_built;
 
-  // Pass 2: emit the bitstream.
   BitWriter w;
   {
     REALM_TRACE_SCOPE("jpeg/encode/emit");
@@ -194,10 +171,143 @@ Compressed encode_plane(const Image& img, const std::array<std::uint16_t, 64>& q
   Compressed out;
   out.width = img.width();
   out.height = img.height();
-  out.quality = opts.quality;
   out.payload = w.finish();
   out.dc_code_lengths = dc_code.lengths();
   out.ac_code_lengths = ac_code.lengths();
+  return out;
+}
+
+// Serial bitstream parse into quantized levels, block-major.  Shared by both
+// decoders; entropy decoding is inherently sequential (DC prediction plus a
+// single bit cursor), the arithmetic downstream of it is not.
+std::vector<std::int16_t> parse_levels(const Compressed& c) {
+  REALM_TRACE_SCOPE("jpeg/decode/parse");
+  const auto& zz = zigzag_order();
+  const HuffmanCode dc_code = HuffmanCode::from_lengths(c.dc_code_lengths);
+  const HuffmanCode ac_code = HuffmanCode::from_lengths(c.ac_code_lengths);
+  const std::size_t n_blocks = static_cast<std::size_t>(c.width / 8) *
+                               static_cast<std::size_t>(c.height / 8);
+  std::vector<std::int16_t> levels(n_blocks * 64, 0);
+  BitReader r{c.payload};
+  int prev_dc = 0;
+  for (std::size_t bi = 0; bi < n_blocks; ++bi) {
+    std::int16_t* lv = levels.data() + bi * 64;
+    const int dcat = dc_code.decode(r);
+    const int diff = vli_decode(dcat > 0 ? r.get(dcat) : 0, dcat);
+    prev_dc += diff;
+    lv[0] = static_cast<std::int16_t>(prev_dc);
+
+    int i = 1;
+    while (i < 64) {
+      const int sym = ac_code.decode(r);
+      if (sym == kEob) break;
+      if (sym == kZrl) {
+        i += 16;
+        continue;
+      }
+      const int run = sym >> 4;
+      const int cat = sym & 0xF;
+      i += run;
+      if (i >= 64) throw std::runtime_error("decode: AC index overflow");
+      lv[zz[static_cast<std::size_t>(i)]] =
+          static_cast<std::int16_t>(vli_decode(cat > 0 ? r.get(cat) : 0, cat));
+      ++i;
+    }
+  }
+  return levels;
+}
+
+void inverse_block(const std::int16_t* levels, const std::array<std::uint16_t, 64>& qtable,
+                   const num::UMulFn& mul, const num::UMulFn& dq_mul, Image& img, int bx,
+                   int by) {
+  std::array<std::int16_t, 64> coeffs{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    coeffs[i] = static_cast<std::int16_t>(
+        num::sat_signed(dequantize(levels[i], qtable[i], dq_mul), 16));
+  }
+  std::array<std::int16_t, 64> pixels{};
+  idct8x8(coeffs, pixels, mul);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const int v = pixels[static_cast<std::size_t>(y * 8 + x)] + 128;
+      img.set(bx + x, by + y, static_cast<std::uint8_t>(std::clamp(v, 0, 255)));
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t Compressed::size_bytes() const noexcept {
+  return payload.size() + dc_code_lengths.size() + ac_code_lengths.size() + 16;
+}
+
+Compressed encode(const Image& img, const CodecOptions& opts) {
+  return encode_plane(img, scaled_table(opts.quality), opts);
+}
+
+Compressed encode_plane_reference(const Image& img,
+                                  const std::array<std::uint16_t, 64>& qtable,
+                                  const CodecOptions& opts) {
+  if (img.width() % 8 != 0 || img.height() % 8 != 0) {
+    throw std::invalid_argument("encode: dimensions must be multiples of 8");
+  }
+  REALM_TRACE_SCOPE("jpeg/encode");
+  const num::UMulFn mul = effective_mul(opts);
+  const std::size_t n_blocks = static_cast<std::size_t>(img.width() / 8) *
+                               static_cast<std::size_t>(img.height() / 8);
+  std::vector<std::int16_t> levels(n_blocks * 64);
+  {
+    REALM_TRACE_SCOPE("jpeg/encode/transform");
+    std::size_t bi = 0;
+    for (int by = 0; by < img.height(); by += 8) {
+      for (int bx = 0; bx < img.width(); bx += 8, ++bi) {
+        forward_block(img, bx, by, mul, qtable, levels.data() + bi * 64);
+      }
+    }
+  }
+  Compressed out = entropy_encode(img, levels);
+  out.quality = opts.quality;
+  return out;
+}
+
+Compressed encode_plane(const Image& img, const std::array<std::uint16_t, 64>& qtable,
+                        const CodecOptions& opts) {
+  if (opts.mul == nullptr) return encode_plane_reference(img, qtable, opts);
+  if (img.width() % 8 != 0 || img.height() % 8 != 0) {
+    throw std::invalid_argument("encode: dimensions must be multiples of 8");
+  }
+  REALM_TRACE_SCOPE("jpeg/encode");
+  const int bw = img.width() / 8;
+  const std::size_t n_blocks =
+      static_cast<std::size_t>(bw) * static_cast<std::size_t>(img.height() / 8);
+  std::vector<std::int16_t> levels(n_blocks * 64);
+  {
+    REALM_TRACE_SCOPE("jpeg/encode/transform_batched");
+    const std::size_t shards = (n_blocks + kCodecShardBlocks - 1) / kCodecShardBlocks;
+    num::ThreadPool::global().run(
+        shards, resolve_threads(opts.threads), [&](std::size_t si) {
+          REALM_TRACE_SCOPE("jpeg/encode/shard");
+          const std::size_t b0 = si * kCodecShardBlocks;
+          const std::size_t nb = std::min(kCodecShardBlocks, n_blocks - b0);
+          std::int16_t panel[kCodecShardBlocks * 64];
+          std::int16_t coeffs[kCodecShardBlocks * 64];
+          for (std::size_t b = 0; b < nb; ++b) {
+            const std::size_t bi = b0 + b;
+            const int bx = static_cast<int>(bi % static_cast<std::size_t>(bw)) * 8;
+            const int by = static_cast<int>(bi / static_cast<std::size_t>(bw)) * 8;
+            for (int y = 0; y < 8; ++y) {
+              for (int x = 0; x < 8; ++x) {
+                panel[b * 64 + static_cast<std::size_t>(y * 8 + x)] =
+                    static_cast<std::int16_t>(img.at(bx + x, by + y) - 128);
+              }
+            }
+          }
+          fdct_panel(panel, coeffs, nb, *opts.mul);
+          quantize_panel(coeffs, qtable, levels.data() + b0 * 64, nb);
+        });
+  }
+  Compressed out = entropy_encode(img, levels);
+  out.quality = opts.quality;
   return out;
 }
 
@@ -205,48 +315,66 @@ Image decode(const Compressed& c, const CodecOptions& opts) {
   return decode_plane(c, scaled_table(c.quality), opts);
 }
 
-Image decode_plane(const Compressed& c, const std::array<std::uint16_t, 64>& qtable,
-                   const CodecOptions& opts) {
+Image decode_plane_reference(const Compressed& c,
+                             const std::array<std::uint16_t, 64>& qtable,
+                             const CodecOptions& opts) {
   REALM_TRACE_SCOPE("jpeg/decode");
   const num::UMulFn mul = effective_mul(opts);
   const num::UMulFn dq = dequant_mul(opts);
-  const auto& zz = zigzag_order();
-  const HuffmanCode dc_code = HuffmanCode::from_lengths(c.dc_code_lengths);
-  const HuffmanCode ac_code = HuffmanCode::from_lengths(c.ac_code_lengths);
+  const std::vector<std::int16_t> levels = parse_levels(c);
 
   Image img{c.width, c.height};
-  BitReader r{c.payload};
-  int prev_dc = 0;
-  for (int by = 0; by < c.height; by += 8) {
-    for (int bx = 0; bx < c.width; bx += 8) {
-      std::array<std::int16_t, 64> levels{};
-      const int dcat = dc_code.decode(r);
-      const int diff = vli_decode(dcat > 0 ? r.get(dcat) : 0, dcat);
-      prev_dc += diff;
-      levels[0] = static_cast<std::int16_t>(prev_dc);
-
-      int i = 1;
-      while (i < 64) {
-        const int sym = ac_code.decode(r);
-        if (sym == kEob) break;
-        if (sym == kZrl) {
-          i += 16;
-          continue;
-        }
-        const int run = sym >> 4;
-        const int cat = sym & 0xF;
-        i += run;
-        if (i >= 64) throw std::runtime_error("decode: AC index overflow");
-        levels[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])] =
-            static_cast<std::int16_t>(vli_decode(cat > 0 ? r.get(cat) : 0, cat));
-        ++i;
-      }
-      inverse_block(levels, qtable, mul, dq, img, bx, by);
+  const int bw = c.width / 8;
+  const std::size_t n_blocks = levels.size() / 64;
+  {
+    REALM_TRACE_SCOPE("jpeg/decode/inverse");
+    for (std::size_t bi = 0; bi < n_blocks; ++bi) {
+      const int bx = static_cast<int>(bi % static_cast<std::size_t>(bw)) * 8;
+      const int by = static_cast<int>(bi / static_cast<std::size_t>(bw)) * 8;
+      inverse_block(levels.data() + bi * 64, qtable, mul, dq, img, bx, by);
     }
   }
-  obs::counter_add(obs::Counter::kJpegBlocksDecoded,
-                   static_cast<std::uint64_t>(c.width / 8) *
-                       static_cast<std::uint64_t>(c.height / 8));
+  obs::counter_add(obs::Counter::kJpegBlocksDecoded, n_blocks);
+  return img;
+}
+
+Image decode_plane(const Compressed& c, const std::array<std::uint16_t, 64>& qtable,
+                   const CodecOptions& opts) {
+  if (opts.mul == nullptr) return decode_plane_reference(c, qtable, opts);
+  REALM_TRACE_SCOPE("jpeg/decode");
+  const std::vector<std::int16_t> levels = parse_levels(c);
+
+  Image img{c.width, c.height};
+  const int bw = c.width / 8;
+  const std::size_t n_blocks = levels.size() / 64;
+  const Multiplier* dq_mul = opts.approximate_dequant ? opts.mul : nullptr;
+  {
+    REALM_TRACE_SCOPE("jpeg/decode/inverse_batched");
+    const std::size_t shards = (n_blocks + kCodecShardBlocks - 1) / kCodecShardBlocks;
+    num::ThreadPool::global().run(
+        shards, resolve_threads(opts.threads), [&](std::size_t si) {
+          REALM_TRACE_SCOPE("jpeg/decode/shard");
+          const std::size_t b0 = si * kCodecShardBlocks;
+          const std::size_t nb = std::min(kCodecShardBlocks, n_blocks - b0);
+          std::int16_t coeffs[kCodecShardBlocks * 64];
+          std::int16_t pixels[kCodecShardBlocks * 64];
+          dequantize_panel(levels.data() + b0 * 64, qtable, coeffs, nb, dq_mul);
+          idct_panel(coeffs, pixels, nb, *opts.mul);
+          for (std::size_t b = 0; b < nb; ++b) {
+            const std::size_t bi = b0 + b;
+            const int bx = static_cast<int>(bi % static_cast<std::size_t>(bw)) * 8;
+            const int by = static_cast<int>(bi / static_cast<std::size_t>(bw)) * 8;
+            for (int y = 0; y < 8; ++y) {
+              for (int x = 0; x < 8; ++x) {
+                const int v = pixels[b * 64 + static_cast<std::size_t>(y * 8 + x)] + 128;
+                img.set(bx + x, by + y,
+                        static_cast<std::uint8_t>(std::clamp(v, 0, 255)));
+              }
+            }
+          }
+        });
+  }
+  obs::counter_add(obs::Counter::kJpegBlocksDecoded, n_blocks);
   return img;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
+
+#include "realm/multiplier.hpp"
 
 namespace realm::jpeg {
 
@@ -33,8 +36,57 @@ std::int16_t quantize(std::int32_t coeff, std::uint16_t q) noexcept {
   return static_cast<std::int16_t>(r);
 }
 
+void quantize_panel(const std::int16_t* coeffs,
+                    const std::array<std::uint16_t, 64>& qtable, std::int16_t* levels,
+                    std::size_t n_blocks) noexcept {
+  // Per-position exact reciprocals (see the header proof): one division per
+  // table entry per call instead of one per coefficient.
+  std::uint32_t recip[64];
+  std::uint32_t half[64];
+  for (std::size_t i = 0; i < 64; ++i) {
+    recip[i] = ((1u << 24) + qtable[i] - 1u) / qtable[i];
+    half[i] = qtable[i] / 2u;
+  }
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      const std::int32_t c = coeffs[b * 64 + i];
+      const std::uint32_t n = static_cast<std::uint32_t>(c >= 0 ? c : -c) + half[i];
+      const auto q = static_cast<std::int32_t>(
+          (static_cast<std::uint64_t>(n) * recip[i]) >> 24);
+      levels[b * 64 + i] = static_cast<std::int16_t>(c >= 0 ? q : -q);
+    }
+  }
+}
+
 std::int32_t dequantize(std::int16_t level, std::uint16_t q, const num::UMulFn& umul) {
-  return static_cast<std::int32_t>(num::signed_mul(level, q, umul));
+  return static_cast<std::int32_t>(num::signed_mul(q, level, umul));
+}
+
+void dequantize_panel(const std::int16_t* levels,
+                      const std::array<std::uint16_t, 64>& qtable, std::int16_t* out,
+                      std::size_t n_blocks, const Multiplier* mul) {
+  if (mul == nullptr) {
+    // Exact constant multiplier (the codec default): a plain product, with
+    // the same 16-bit saturation the inverse path applies.
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      for (std::size_t i = 0; i < 64; ++i) {
+        const std::int64_t p = std::int64_t{levels[b * 64 + i]} * qtable[i];
+        out[b * 64 + i] = static_cast<std::int16_t>(num::sat_signed(p, 16));
+      }
+    }
+    return;
+  }
+  // Approximate dequantizer: per coefficient position the table entry is
+  // fixed, so gather the position's levels across blocks into one lane and
+  // issue a single row batch.
+  std::vector<std::int64_t> lane(n_blocks), prod(n_blocks);
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t b = 0; b < n_blocks; ++b) lane[b] = levels[b * 64 + i];
+    num::signed_row_batch(qtable[i], lane.data(), prod.data(), n_blocks, *mul);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      out[b * 64 + i] = static_cast<std::int16_t>(num::sat_signed(prod[b], 16));
+    }
+  }
 }
 
 const std::array<int, 64>& zigzag_order() {

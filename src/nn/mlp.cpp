@@ -5,7 +5,10 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "realm/multiplier.hpp"
 #include "realm/numeric/rng.hpp"
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace realm::nn {
 
@@ -185,6 +188,70 @@ double accuracy_fixed(const Mlp::Quantized& net, const Dataset& data,
   int correct = 0;
   for (std::size_t i = 0; i < data.x.size(); ++i) {
     if (predict_fixed(net, data.x[i], umul) == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.x.size());
+}
+
+std::vector<int> predict_fixed_batch(const Mlp::Quantized& net,
+                                     const std::vector<std::array<double, 2>>& xs,
+                                     const Multiplier& mul) {
+  const std::size_t S = xs.size();
+  if (S == 0) return {};
+  REALM_TRACE_SCOPE("nn/forward_batched");
+  const int fb = net.frac_bits;
+
+  // Activations feature-major: act[i * S + s] is sample s's i-th feature, so
+  // each (o, i) weight's row batch reads one contiguous lane of samples.
+  std::vector<std::int64_t> act(2 * S);
+  for (std::size_t s = 0; s < S; ++s) {
+    act[0 * S + s] = num::to_fx(xs[s][0], fb);
+    act[1 * S + s] = num::to_fx(xs[s][1], fb);
+  }
+
+  std::vector<std::int64_t> acc, prod(S), next;
+  std::uint64_t macs = 0;
+  for (std::size_t l = 0; l < net.weights.size(); ++l) {
+    const auto in = static_cast<std::size_t>(net.layers[l]);
+    const auto out = static_cast<std::size_t>(net.layers[l + 1]);
+    acc.assign(out * S, 0);
+    for (std::size_t o = 0; o < out; ++o) {
+      std::int64_t* a = acc.data() + o * S;
+      for (std::size_t s = 0; s < S; ++s) a[s] = net.biases[l][o];  // Q(2fb)
+      for (std::size_t i = 0; i < in; ++i) {
+        num::signed_row_batch(net.weights[l][o * in + i], act.data() + i * S,
+                              prod.data(), S, mul);
+        for (std::size_t s = 0; s < S; ++s) a[s] += prod[s];
+      }
+    }
+    macs += in * out * S;
+    const bool last = l + 1 == net.weights.size();
+    next.assign(out * S, 0);
+    for (std::size_t o = 0; o < out; ++o) {
+      const std::int64_t* a = acc.data() + o * S;
+      for (std::size_t s = 0; s < S; ++s) {
+        std::int32_t v = num::sat_signed(a[s] >> fb, 16);  // back to Q(fb)
+        if (!last && v < 0) v = 0;                         // ReLU
+        next[o * S + s] = v;
+      }
+    }
+    act = std::move(next);
+    next = {};
+  }
+  obs::counter_add(obs::Counter::kNnMacsBatched, macs);
+
+  std::vector<int> labels(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    labels[s] = act[1 * S + s] > act[0 * S + s] ? 1 : 0;
+  }
+  return labels;
+}
+
+double accuracy_fixed_batch(const Mlp::Quantized& net, const Dataset& data,
+                            const Multiplier& mul) {
+  const std::vector<int> pred = predict_fixed_batch(net, data.x, mul);
+  int correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == data.y[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(data.x.size());
 }

@@ -1,17 +1,72 @@
 #include "realm/numeric/fixed_point.hpp"
 
 #include <cassert>
+#include <climits>
 #include <cmath>
 #include <cstdlib>
 
+#include "realm/multiplier.hpp"
+
 namespace realm::num {
 
+namespace {
+
+// Stack-block size for the batched tiers: big enough that the devirtualized
+// kernels amortize their per-call setup, small enough that three blocks
+// (magnitudes x2 + products) stay L1-resident alongside the caller's lanes.
+constexpr std::size_t kBlock = 512;
+
+}  // namespace
+
 std::int64_t signed_mul(std::int64_t a, std::int64_t b, const UMulFn& umul) {
+  assert(a != INT64_MIN && b != INT64_MIN && "signed_mul: |INT64_MIN| overflows");
   const bool neg = (a < 0) != (b < 0);
   const auto ua = static_cast<std::uint64_t>(a < 0 ? -a : a);
   const auto ub = static_cast<std::uint64_t>(b < 0 ? -b : b);
   const auto p = static_cast<std::int64_t>(umul(ua, ub));
   return neg ? -p : p;
+}
+
+void signed_mul_batch(const std::int64_t* a, const std::int64_t* b, std::int64_t* out,
+                      std::size_t n, const Multiplier& mul) {
+  std::uint64_t ua[kBlock], ub[kBlock], prod[kBlock];
+  for (std::size_t i0 = 0; i0 < n; i0 += kBlock) {
+    const std::size_t len = n - i0 < kBlock ? n - i0 : kBlock;
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::int64_t av = a[i0 + i];
+      const std::int64_t bv = b[i0 + i];
+      assert(av != INT64_MIN && bv != INT64_MIN &&
+             "signed_mul_batch: |INT64_MIN| overflows");
+      ua[i] = static_cast<std::uint64_t>(av < 0 ? -av : av);
+      ub[i] = static_cast<std::uint64_t>(bv < 0 ? -bv : bv);
+    }
+    mul.multiply_batch(ua, ub, prod, len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto p = static_cast<std::int64_t>(prod[i]);
+      out[i0 + i] = (a[i0 + i] < 0) != (b[i0 + i] < 0) ? -p : p;
+    }
+  }
+}
+
+void signed_row_batch(std::int64_t a_fixed, const std::int64_t* b, std::int64_t* out,
+                      std::size_t n, const Multiplier& mul) {
+  assert(a_fixed != INT64_MIN && "signed_row_batch: |INT64_MIN| overflows");
+  const bool a_neg = a_fixed < 0;
+  const auto ua = static_cast<std::uint64_t>(a_neg ? -a_fixed : a_fixed);
+  std::uint64_t ub[kBlock], prod[kBlock];
+  for (std::size_t i0 = 0; i0 < n; i0 += kBlock) {
+    const std::size_t len = n - i0 < kBlock ? n - i0 : kBlock;
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::int64_t bv = b[i0 + i];
+      assert(bv != INT64_MIN && "signed_row_batch: |INT64_MIN| overflows");
+      ub[i] = static_cast<std::uint64_t>(bv < 0 ? -bv : bv);
+    }
+    mul.multiply_row_batch(ua, ub, prod, len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto p = static_cast<std::int64_t>(prod[i]);
+      out[i0 + i] = (b[i0 + i] < 0) != a_neg ? -p : p;
+    }
+  }
 }
 
 std::int32_t fx_mul(std::int32_t a, std::int32_t b, int frac_bits, const UMulFn& umul) {

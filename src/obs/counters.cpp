@@ -40,6 +40,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kExhaustiveRows: return "exhaustive_rows";
     case Counter::kExhaustiveTiles: return "exhaustive_tiles";
     case Counter::kRowFallbackBatches: return "row_fallback_batches";
+    case Counter::kDctBlocksBatched: return "dct_blocks_batched";
+    case Counter::kNnMacsBatched: return "nn_macs_batched";
+    case Counter::kDspTapsBatched: return "dsp_taps_batched";
     case Counter::kCount: break;
   }
   return "unknown";

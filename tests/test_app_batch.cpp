@@ -1,0 +1,254 @@
+// Bit-identity contract of the batched application engine (DESIGN.md §12):
+// the panel DCT/IDCT, the batched codec, the batched MLP matvec and the
+// batched FIR/Sobel filters must reproduce their scalar reference paths
+// exactly — same bytes, same pixels, same predictions — for every
+// multiplier design and every thread count.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "realm/dsp/filter.hpp"
+#include "realm/jpeg/codec.hpp"
+#include "realm/jpeg/dct.hpp"
+#include "realm/jpeg/quality.hpp"
+#include "realm/jpeg/quant.hpp"
+#include "realm/jpeg/synthetic.hpp"
+#include "realm/multiplier.hpp"
+#include "realm/multipliers/registry.hpp"
+#include "realm/nn/mlp.hpp"
+#include "realm/numeric/rng.hpp"
+#include "realm/obs/counters.hpp"
+
+using namespace realm;
+
+namespace {
+
+const std::vector<std::string> kSpecs = {"accurate", "realm:m=16,t=8", "mbm:t=0",
+                                         "calm", "drum:k=6"};
+const std::vector<int> kThreadCounts = {1, 2, 5};
+
+std::vector<std::int16_t> random_blocks(std::size_t n_blocks, std::uint64_t seed) {
+  num::Xoshiro256 rng{seed};
+  std::vector<std::int16_t> v(n_blocks * 64);
+  for (auto& x : v) x = static_cast<std::int16_t>(rng.below(256)) - 128;
+  return v;
+}
+
+}  // namespace
+
+TEST(AppBatch, PanelFdctMatchesScalarReference) {
+  // 67 blocks crosses the 32-block panel boundary with a ragged tail.
+  const auto blocks = random_blocks(67, 0x5EED);
+  for (const auto& spec : kSpecs) {
+    const auto mul = mult::make_multiplier(spec, 16);
+    const auto f = mul->as_function();
+    std::vector<std::int16_t> panel_out(blocks.size());
+    jpeg::fdct_panel(blocks.data(), panel_out.data(), 67, *mul);
+    for (std::size_t b = 0; b < 67; ++b) {
+      std::array<std::int16_t, 64> in{}, ref{};
+      for (std::size_t i = 0; i < 64; ++i) in[i] = blocks[b * 64 + i];
+      jpeg::fdct8x8(in, ref, f);
+      for (std::size_t i = 0; i < 64; ++i) {
+        ASSERT_EQ(panel_out[b * 64 + i], ref[i]) << spec << " block=" << b << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(AppBatch, PanelIdctMatchesScalarReference) {
+  // Realistic coefficients: forward-transform random pixel blocks first.
+  const auto pixels = random_blocks(33, 0xD1C7);
+  const auto mul = mult::make_multiplier("realm:m=16,t=8", 16);
+  const auto f = mul->as_function();
+  std::vector<std::int16_t> coeffs(pixels.size());
+  jpeg::fdct_panel(pixels.data(), coeffs.data(), 33, *mul);
+
+  for (const auto& spec : kSpecs) {
+    const auto m = mult::make_multiplier(spec, 16);
+    const auto mf = m->as_function();
+    std::vector<std::int16_t> panel_out(coeffs.size());
+    jpeg::idct_panel(coeffs.data(), panel_out.data(), 33, *m);
+    for (std::size_t b = 0; b < 33; ++b) {
+      std::array<std::int16_t, 64> in{}, ref{};
+      for (std::size_t i = 0; i < 64; ++i) in[i] = coeffs[b * 64 + i];
+      jpeg::idct8x8(in, ref, mf);
+      for (std::size_t i = 0; i < 64; ++i) {
+        ASSERT_EQ(panel_out[b * 64 + i], ref[i]) << spec << " block=" << b << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(AppBatch, QuantizePanelMatchesScalarForEveryDivisor) {
+  // Every q the scaled tables can produce (1..255) against boundary and
+  // random coefficients — the reciprocal quantizer must divide exactly.
+  num::Xoshiro256 rng{0x0ABC};
+  for (int q = 1; q <= 255; ++q) {
+    std::array<std::uint16_t, 64> qtable{};
+    qtable.fill(static_cast<std::uint16_t>(q));
+    std::array<std::int16_t, 64> coeffs{};
+    const std::int16_t edge[] = {0,
+                                 1,
+                                 -1,
+                                 static_cast<std::int16_t>(q - 1),
+                                 static_cast<std::int16_t>(q),
+                                 static_cast<std::int16_t>(q + 1),
+                                 static_cast<std::int16_t>(-q),
+                                 32767,
+                                 -32767,
+                                 static_cast<std::int16_t>(-32768)};
+    for (std::size_t i = 0; i < 64; ++i) {
+      coeffs[i] = i < std::size(edge)
+                      ? edge[i]
+                      : static_cast<std::int16_t>(rng.below(65535)) - 32767;
+    }
+    std::array<std::int16_t, 64> levels{};
+    jpeg::quantize_panel(coeffs.data(), qtable, levels.data(), 1);
+    for (std::size_t i = 0; i < 64; ++i) {
+      ASSERT_EQ(levels[i], jpeg::quantize(coeffs[i], qtable[i]))
+          << "q=" << q << " coeff=" << coeffs[i];
+    }
+  }
+}
+
+TEST(AppBatch, DequantizePanelMatchesScalar) {
+  const auto qtable = jpeg::scaled_table(50);
+  num::Xoshiro256 rng{0xDE0};
+  std::vector<std::int16_t> levels(9 * 64);
+  for (auto& l : levels) l = static_cast<std::int16_t>(rng.below(201)) - 100;
+
+  // Exact path (mul == nullptr): the plain saturated product.
+  std::vector<std::int16_t> out(levels.size());
+  jpeg::dequantize_panel(levels.data(), qtable, out.data(), 9, nullptr);
+  for (std::size_t b = 0; b < 9; ++b) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      const std::int64_t p = std::int64_t{levels[b * 64 + i]} * qtable[i];
+      ASSERT_EQ(out[b * 64 + i], num::sat_signed(p, 16));
+    }
+  }
+  // Approximate path: scalar dequantize with the same design, q first.
+  for (const auto& spec : kSpecs) {
+    const auto mul = mult::make_multiplier(spec, 16);
+    const auto f = mul->as_function();
+    jpeg::dequantize_panel(levels.data(), qtable, out.data(), 9, mul.get());
+    for (std::size_t b = 0; b < 9; ++b) {
+      for (std::size_t i = 0; i < 64; ++i) {
+        const std::int32_t ref = jpeg::dequantize(levels[b * 64 + i], qtable[i], f);
+        ASSERT_EQ(out[b * 64 + i], num::sat_signed(ref, 16)) << spec;
+      }
+    }
+  }
+}
+
+TEST(AppBatch, JpegBatchedEngineBitIdenticalAcrossSpecsAndThreads) {
+  const auto img = jpeg::synthetic_cameraman(64);
+  for (const auto& spec : kSpecs) {
+    const auto mul = mult::make_multiplier(spec, 16);
+    jpeg::CodecOptions ref_opts;
+    ref_opts.quality = 50;
+    ref_opts.umul = mul->as_function();
+    const auto c_ref = jpeg::encode(img, ref_opts);
+    const auto d_ref = jpeg::decode(c_ref, ref_opts);
+    const double psnr_ref = jpeg::psnr(img, d_ref);
+
+    for (const int threads : kThreadCounts) {
+      jpeg::CodecOptions opts;
+      opts.quality = 50;
+      opts.mul = mul.get();
+      opts.threads = threads;
+      const auto c = jpeg::encode(img, opts);
+      EXPECT_EQ(jpeg::serialize(c), jpeg::serialize(c_ref))
+          << spec << " threads=" << threads;
+      const auto d = jpeg::decode(c_ref, opts);
+      EXPECT_EQ(d.pixels(), d_ref.pixels()) << spec << " threads=" << threads;
+      EXPECT_DOUBLE_EQ(jpeg::psnr(img, d), psnr_ref) << spec << " threads=" << threads;
+    }
+  }
+}
+
+TEST(AppBatch, JpegBatchedApproximateDequantMatchesReference) {
+  const auto img = jpeg::synthetic_cameraman(64);
+  const auto mul = mult::make_multiplier("realm:m=16,t=8", 16);
+  jpeg::CodecOptions ref_opts;
+  ref_opts.quality = 50;
+  ref_opts.umul = mul->as_function();
+  ref_opts.approximate_dequant = true;
+  const auto c = jpeg::encode(img, ref_opts);
+  const auto d_ref = jpeg::decode(c, ref_opts);
+  for (const int threads : kThreadCounts) {
+    jpeg::CodecOptions opts = ref_opts;
+    opts.mul = mul.get();
+    opts.threads = threads;
+    const auto d = jpeg::decode(c, opts);
+    EXPECT_EQ(d.pixels(), d_ref.pixels()) << "threads=" << threads;
+  }
+}
+
+TEST(AppBatch, MlpBatchMatchesScalarPredictions) {
+  nn::Mlp net{{2, 8, 2}, 0xBEEF};
+  const auto train = nn::make_two_moons(200, 0.25, 0x11);
+  const auto test = nn::make_two_moons(300, 0.25, 0x22);
+  net.train(train, 20, 0.05);
+  const auto qnet = net.quantize(8);
+  for (const auto& spec : kSpecs) {
+    const auto mul = mult::make_multiplier(spec, 16);
+    const auto f = mul->as_function();
+    const auto pred = nn::predict_fixed_batch(qnet, test.x, *mul);
+    ASSERT_EQ(pred.size(), test.x.size());
+    for (std::size_t i = 0; i < test.x.size(); ++i) {
+      ASSERT_EQ(pred[i], nn::predict_fixed(qnet, test.x[i], f)) << spec << " i=" << i;
+    }
+    EXPECT_DOUBLE_EQ(nn::accuracy_fixed_batch(qnet, test, *mul),
+                     nn::accuracy_fixed(qnet, test, f))
+        << spec;
+  }
+  // Empty batch is a no-op.
+  const auto mul = mult::make_multiplier("accurate", 16);
+  EXPECT_TRUE(nn::predict_fixed_batch(qnet, {}, *mul).empty());
+}
+
+TEST(AppBatch, FilterBatchMatchesScalarPixels) {
+  const auto img = jpeg::synthetic_cameraman(48);
+  for (const auto& spec : kSpecs) {
+    const auto mul = mult::make_multiplier(spec, 16);
+    const auto f = mul->as_function();
+    const auto blur_s = dsp::gaussian_blur(img, 1.5, f);
+    const auto blur_b = dsp::gaussian_blur_batch(img, 1.5, *mul);
+    EXPECT_EQ(blur_b.pixels(), blur_s.pixels()) << spec;
+    const auto sob_s = dsp::sobel(img, f);
+    const auto sob_b = dsp::sobel_batch(img, *mul);
+    EXPECT_EQ(sob_b.pixels(), sob_s.pixels()) << spec;
+  }
+}
+
+TEST(AppBatch, BatchedPathsIncrementTheirCounters) {
+  const auto mul = mult::make_multiplier("realm:m=16,t=8", 16);
+
+  const auto img = jpeg::synthetic_cameraman(32);  // 16 blocks
+  jpeg::CodecOptions opts;
+  opts.quality = 50;
+  opts.mul = mul.get();
+  const auto dct0 = obs::counter_value(obs::Counter::kDctBlocksBatched);
+  const auto c = jpeg::encode(img, opts);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kDctBlocksBatched), dct0 + 16);
+  (void)jpeg::decode(c, opts);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kDctBlocksBatched), dct0 + 32);
+
+  nn::Mlp net{{2, 4, 2}, 0x77};
+  const auto qnet = net.quantize(8);
+  const auto xs = nn::make_two_moons(10, 0.25, 0x33).x;
+  const auto nn0 = obs::counter_value(obs::Counter::kNnMacsBatched);
+  (void)nn::predict_fixed_batch(qnet, xs, *mul);
+  // (2*4 + 4*2) MACs per sample, 10 samples.
+  EXPECT_EQ(obs::counter_value(obs::Counter::kNnMacsBatched), nn0 + 160);
+
+  const auto dsp0 = obs::counter_value(obs::Counter::kDspTapsBatched);
+  (void)dsp::sobel_batch(img, *mul);
+  // 12 nonzero Sobel taps (6 per gradient) x 32 pixels/row x 32 rows.
+  EXPECT_EQ(obs::counter_value(obs::Counter::kDspTapsBatched), dsp0 + 12 * 32 * 32);
+}

@@ -4,7 +4,7 @@
 Usage: check_bench_schema.py FILE [FILE ...]
        check_bench_schema.py --equal-metrics FILE_A FILE_B
        check_bench_schema.py --min-counter FILE NAME MIN
-       check_bench_schema.py --min-speedup FILE MIN
+       check_bench_schema.py --min-speedup FILE MIN [METRIC]
 
 Two file kinds are accepted:
   * BENCH_*.json — MetricsSink documents; must carry schema "realm-bench-v2"
@@ -19,9 +19,10 @@ equality (key set and values) — the crash/resume smoke uses it to prove an
 interrupted-then-resumed campaign reproduces the uninterrupted run bit for
 bit.  --min-counter asserts counters[NAME] >= MIN in one document, e.g. that
 a resumed run actually replayed units from the store.  --min-speedup asserts
-metrics["speedup_row_vs_generic"] >= MIN in a BENCH_exhaustive.json document
-— the CI gate for the row-hoisted exhaustive kernels (the issue's >= 2.5x
-acceptance criterion on REALM16).
+metrics[METRIC] >= MIN in one document; METRIC defaults to
+"speedup_row_vs_generic" (the CI gate for the row-hoisted exhaustive
+kernels).  The app-bench smoke passes METRIC=speedup_batched_vs_scalar to
+gate the batched JPEG engine's floor against BENCH_apps.json.
 
 Exits non-zero (listing every problem) if any check fails, so CI catches a
 bench drifting off the unified schema the moment it happens.  Stdlib only.
@@ -57,6 +58,9 @@ EXPECTED_COUNTERS = [
     "exhaustive_rows",
     "exhaustive_tiles",
     "row_fallback_batches",
+    "dct_blocks_batched",
+    "nn_macs_batched",
+    "dsp_taps_batched",
 ]
 
 EXPECTED_GAUGES = ["pool_workers"]
@@ -157,16 +161,16 @@ def equal_metrics(path_a, path_b):
     return 0
 
 
-def min_speedup(path, minimum):
+def min_speedup(path, minimum, metric="speedup_row_vs_generic"):
     metrics = load(path).get("metrics")
-    value = metrics.get("speedup_row_vs_generic") if isinstance(metrics, dict) else None
+    value = metrics.get(metric) if isinstance(metrics, dict) else None
     if not isinstance(value, (int, float)) or isinstance(value, bool):
-        print(f"FAIL {path}: metric 'speedup_row_vs_generic' missing or not a number")
+        print(f"FAIL {path}: metric {metric!r} missing or not a number")
         return 1
     if value < minimum:
-        print(f"FAIL {path}: speedup_row_vs_generic = {value:.2f} < required {minimum}")
+        print(f"FAIL {path}: {metric} = {value:.2f} < required {minimum}")
         return 1
-    print(f"ok   {path}: speedup_row_vs_generic = {value:.2f} >= {minimum}")
+    print(f"ok   {path}: {metric} = {value:.2f} >= {minimum}")
     return 0
 
 
@@ -201,10 +205,12 @@ def main(argv):
                 return 2
             return min_counter(argv[2], argv[3], int(argv[4]))
         if argv[1] == "--min-speedup":
-            if len(argv) != 4:
-                print("usage: check_bench_schema.py --min-speedup FILE MIN",
+            if len(argv) not in (4, 5):
+                print("usage: check_bench_schema.py --min-speedup FILE MIN [METRIC]",
                       file=sys.stderr)
                 return 2
+            if len(argv) == 5:
+                return min_speedup(argv[2], float(argv[3]), argv[4])
             return min_speedup(argv[2], float(argv[3]))
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"FAIL {exc}")
