@@ -24,7 +24,13 @@
 //   kPoolTasksInline    tasks run inline because the pool was busy (the
 //                       previously invisible contention-fallback path)
 //   kPoolTasksFailed    tasks that threw (first is rethrown, rest swallowed)
-//   kPoolQueueWaitNs    summed ns between region publish and worker start
+//   kPoolQueueWaitNs    summed ns between region publish and worker start.
+//                       Since the histogram PR this is the *total* of the
+//                       pool_queue_wait_ns value histogram (histogram.hpp),
+//                       kept as a backward-compatible sum — new consumers
+//                       should read the histogram, whose buckets and
+//                       p50/p95/p99 expose the dispatch-latency tail the
+//                       bare sum hides
 //   kJpegBlocksEncoded  8x8 blocks through the forward DCT/quant/entropy path
 //   kJpegBlocksDecoded  8x8 blocks through the inverse path
 //   kStoreHits          campaign-store lookups served from the journal
@@ -90,7 +96,9 @@ inline constexpr unsigned kCounterCount = static_cast<unsigned>(Counter::kCount)
 
 /// Gauges hold a last-written value instead of accumulating.
 enum class Gauge : unsigned {
-  kPoolWorkers = 0,  ///< background threads in the global pool
+  kPoolWorkers = 0,     ///< background threads in the global pool
+  kPoolActiveWorkers,   ///< workers currently draining a pool region
+  kPoolQueueDepth,      ///< unclaimed tasks remaining in the active region
   kCount
 };
 

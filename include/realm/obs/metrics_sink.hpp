@@ -3,20 +3,30 @@
 // Every bench used to hand-roll its own snprintf JSON; MetricsSink is the
 // single code path that replaces them.  A sink collects free-form metadata
 // and numeric results during the run, and write()/to_json() wraps them —
-// together with a snapshot of the global counter table, gauges and span
-// aggregates (trace.hpp) — into one schema-stable document:
+// together with a snapshot of the global counter table, gauges, span
+// histograms, value histograms and the sampler timeline — into one
+// schema-stable document:
 //
 //   {
-//     "schema": "realm-bench-v2",
+//     "schema": "realm-bench-v3",
 //     "meta":     { "bench": ..., caller metadata ... },
+//     "run":      { "host": ..., "commit": ..., "hw_threads": ... },
 //     "metrics":  { caller results, insertion order preserved ... },
 //     "counters": { every obs::Counter, zero or not ... },
 //     "gauges":   { every obs::Gauge ... },
-//     "spans":    { "mc/shard": {"count":..,"total_us":..,...}, ... }
+//     "spans":    { "mc/shard": {"count":..,"total_us":..,"p50_us":..,
+//                                "p95_us":..,"p99_us":..,"buckets":[..]}, ... },
+//     "value_histograms": { every obs::ValueHist ... },
+//     "timeline": [ sampler snapshots, [] unless --sample-hz was given ]
 //   }
 //
-// "counters" always lists the full catalog so consumers can diff runs
-// without key-existence churn; "spans" is empty unless tracing was on.
+// "counters" and "value_histograms" always list their full catalogs so
+// consumers can diff runs without key-existence churn; "spans" is empty
+// unless tracing was on.  v3 extends v2 with the "run" stamp, per-span
+// percentiles + bucket arrays, the value-histogram catalog and the
+// timeline; history_record() flattens the same snapshot into the
+// line-oriented record the bench-history harness appends and
+// realm_benchdiff compares.
 
 #pragma once
 
@@ -31,6 +41,8 @@ namespace realm::obs {
 /// native types (sink.metric("speedup", 5.2)).
 class JsonValue {
  public:
+  enum class Kind { kString, kDouble, kInt, kUInt, kBool };
+
   JsonValue(const char* s) : kind_{Kind::kString}, str_{s} {}
   JsonValue(std::string s) : kind_{Kind::kString}, str_{std::move(s)} {}
   JsonValue(double v) : kind_{Kind::kDouble}, num_{v} {}
@@ -39,14 +51,24 @@ class JsonValue {
   JsonValue(unsigned v) : kind_{Kind::kUInt}, u_{v} {}
   JsonValue(long v) : kind_{Kind::kInt}, i_{v} {}
   JsonValue(unsigned long v) : kind_{Kind::kUInt}, u_{v} {}
-  JsonValue(long long v) : kind_{Kind::kInt}, i_{static_cast<long>(v)} {}
-  JsonValue(unsigned long long v) : kind_{Kind::kUInt}, u_{static_cast<unsigned long>(v)} {}
+  // long long is at least 64 bits on every platform, so routing it through
+  // std::int64_t is value-preserving everywhere (the previous
+  // static_cast<long> truncated on LLP64 targets where long is 32 bits).
+  JsonValue(long long v) : kind_{Kind::kInt}, i_{static_cast<std::int64_t>(v)} {}
+  JsonValue(unsigned long long v)
+      : kind_{Kind::kUInt}, u_{static_cast<std::uint64_t>(v)} {}
 
   /// The value rendered as a JSON token (quoted/escaped for strings).
   [[nodiscard]] std::string render() const;
 
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_numeric() const noexcept {
+    return kind_ == Kind::kDouble || kind_ == Kind::kInt || kind_ == Kind::kUInt;
+  }
+  /// Numeric value widened to double (0.0 for strings/bools).
+  [[nodiscard]] double as_double() const noexcept;
+
  private:
-  enum class Kind { kString, kDouble, kInt, kUInt, kBool };
   Kind kind_;
   std::string str_;
   double num_ = 0.0;
@@ -58,10 +80,19 @@ class JsonValue {
 /// Escapes a string for embedding in a JSON document (quotes included).
 [[nodiscard]] std::string json_quote(const std::string& s);
 
+/// Host name of the machine producing this run ("unknown" on failure).
+[[nodiscard]] std::string run_host();
+
+/// Commit stamp: REALM_GIT_COMMIT, else GITHUB_SHA, else "unknown" — CI
+/// exports one of these so history records are commit-addressable.
+[[nodiscard]] std::string run_commit();
+
 class MetricsSink {
  public:
   /// `bench` becomes meta.bench and identifies the producing harness.
   explicit MetricsSink(std::string bench);
+
+  [[nodiscard]] const std::string& bench() const noexcept { return bench_; }
 
   /// Run description (configuration, budgets, host facts).  Insertion order
   /// is preserved; re-using a key appends a second entry — don't.
@@ -70,12 +101,20 @@ class MetricsSink {
   /// A measured result.
   void metric(const std::string& key, JsonValue value);
 
-  /// Full document, including the counter/gauge/span snapshot taken now.
+  /// Full document, including the counter/gauge/span/timeline snapshot
+  /// taken now.
   [[nodiscard]] std::string to_json() const;
 
   /// to_json() to a file, creating parent directories.  Throws
   /// std::runtime_error on I/O failure.
   void write(const std::string& path) const;
+
+  /// The bench-history record: `name=value` lines (campaign-store payload
+  /// conventions — doubles as C99 hex-floats for bit-exact round-trips,
+  /// metric names may contain '=', so consumers split on the *last* '=').
+  /// Carries the run stamp, every numeric metric, the counter catalog and
+  /// per-span count/total/percentiles; realm_benchdiff parses it back.
+  [[nodiscard]] std::string history_record() const;
 
  private:
   std::string bench_;

@@ -1,0 +1,67 @@
+// Runtime utilization sampler: a background thread that periodically
+// snapshots process state into an in-memory timeline.
+//
+// Spans and counters answer "how much work, how fast"; the sampler answers
+// "what did the machine look like *while* it ran" — thread-pool occupancy
+// (active workers, unclaimed queue depth), resident set size, and per-
+// interval counter deltas (from which e.g. the inline-fallback rate is one
+// division away).  Sampling is strictly opt-in (--sample-hz=N on every
+// bench, or the REALM_SAMPLE_HZ environment variable); when off, the only
+// cost anywhere in the library is the gauge stores the thread pool already
+// performs.
+//
+// The timeline feeds two exports: the "timeline" section of every
+// realm-bench-v3 document (MetricsSink), and — when tracing is also on —
+// Chrome trace counter ("C" phase) events, so Perfetto renders occupancy
+// and RSS tracks under the spans.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "realm/obs/counters.hpp"
+
+namespace realm::obs {
+
+/// One periodic snapshot.  Counter values are deltas against the previous
+/// sample (the first sample is the delta against the sampler's start).
+struct TimelineSample {
+  std::uint64_t t_ns = 0;       ///< now_ns() at capture
+  std::uint64_t rss_kb = 0;     ///< resident set size (0 where unsupported)
+  std::uint64_t pool_workers = 0;
+  std::uint64_t pool_active = 0;
+  std::uint64_t pool_queue_depth = 0;
+  std::array<std::uint64_t, kCounterCount> counter_delta{};
+};
+
+/// Process-wide sampler control.  start() is idempotent (a running sampler
+/// keeps its rate); stop() joins the thread and appends one final sample so
+/// short runs still produce a non-empty timeline.
+class Sampler {
+ public:
+  /// Begins sampling at `hz` (clamped to [1, 1000]).  No-op if running.
+  static void start(double hz);
+
+  /// Stops and joins; safe to call when not running.
+  static void stop();
+
+  [[nodiscard]] static bool running() noexcept;
+};
+
+/// REALM_SAMPLE_HZ parsed as a positive number; 0 when unset/invalid.
+[[nodiscard]] double sampler_env_hz() noexcept;
+
+/// Copy of the timeline captured so far (stop the sampler first for a
+/// complete, race-free view).  Bounded: after 65536 samples the sampler
+/// stops appending (and keeps counting drops).
+[[nodiscard]] std::vector<TimelineSample> timeline_samples();
+
+/// Samples not stored because the timeline cap was reached.
+[[nodiscard]] std::size_t timeline_samples_dropped();
+
+/// Discards the timeline (test/bench support; stop the sampler first).
+void timeline_reset();
+
+}  // namespace realm::obs

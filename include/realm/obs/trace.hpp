@@ -33,6 +33,8 @@
 #include <map>
 #include <string>
 
+#include "realm/obs/histogram.hpp"
+
 namespace realm::obs {
 
 namespace detail {
@@ -102,6 +104,13 @@ struct SpanAggregate {
 
 /// Per-name aggregates over every span still held in the rings.
 [[nodiscard]] std::map<std::string, SpanAggregate> span_aggregates();
+
+/// Per-name duration histograms (nanoseconds), merged across every thread's
+/// table at call time.  Unlike the ring-backed span_aggregates(), these are
+/// fed on every record_span and never lose spans to ring wrap-around, so
+/// count/total/min/max here are exact over the whole run and the log2
+/// buckets supply p50/p95/p99 for the realm-bench-v3 spans section.
+[[nodiscard]] std::map<std::string, HistogramSnapshot> span_histograms();
 
 /// Chrome trace-event JSON ("X" phase events, ts/dur in microseconds).
 [[nodiscard]] std::string chrome_trace_json();

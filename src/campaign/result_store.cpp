@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "realm/obs/counters.hpp"
+#include "realm/obs/histogram.hpp"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -263,6 +264,9 @@ void ResultStore::append_record_locked(const std::string& key,
   ++stats_.records_appended;
   stats_.bytes_appended += bytes;
   obs::counter_add(obs::Counter::kStoreBytesWritten, bytes);
+  // Record-size distribution: an outlier payload (schema drift, a runaway
+  // histogram dump) shows up in the p99 long before it fills the journal.
+  obs::value_hist_record(obs::ValueHist::kStoreRecordBytes, bytes);
 }
 
 bool ResultStore::contains(const std::string& key) const {

@@ -2,16 +2,44 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "realm/obs/counters.hpp"
+#include "realm/obs/histogram.hpp"
 #include "realm/obs/trace.hpp"
 
 namespace realm::num {
+
+namespace {
+
+// REALM_OBS_TEST_SLOWDOWN=<us>: sleeps that long after every task, inline or
+// pooled.  CI's bench-history regression gate sets it to fake a hot-path
+// regression and asserts realm_benchdiff catches it; unset (the only state
+// outside that job) costs one cached-load branch per task.
+std::uint64_t test_slowdown_us() noexcept {
+  static const std::uint64_t v = [] {
+    const char* s = std::getenv("REALM_OBS_TEST_SLOWDOWN");
+    if (s == nullptr || *s == '\0') return std::uint64_t{0};
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(s, &end, 10);
+    return end != nullptr && *end == '\0' ? std::uint64_t{n} : std::uint64_t{0};
+  }();
+  return v;
+}
+
+inline void maybe_inject_test_slowdown() {
+  if (const std::uint64_t us = test_slowdown_us(); us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds{us});
+  }
+}
+
+}  // namespace
 
 struct ThreadPool::Impl {
   // One "region" at a time: run() serializes callers via region_mutex_ (with
@@ -47,14 +75,20 @@ struct ThreadPool::Impl {
       if (helpers_wanted == 0) continue;  // region already fully staffed
       --helpers_wanted;
       ++active;
+      obs::gauge_set(obs::Gauge::kPoolActiveWorkers, active);
       // Dispatch latency: time from the caller publishing the region to this
       // worker starting on it (still under m, so region_start_ns is stable).
-      obs::counter_add(obs::Counter::kPoolQueueWaitNs,
-                       obs::now_ns() - region_start_ns);
+      // The histogram carries the distribution (p50/p95/p99 of worker
+      // wake-up); the summed counter stays as its backward-compatible total.
+      const std::uint64_t wait_ns = obs::now_ns() - region_start_ns;
+      obs::counter_add(obs::Counter::kPoolQueueWaitNs, wait_ns);
+      obs::value_hist_record(obs::ValueHist::kPoolQueueWaitNs, wait_ns);
       lock.unlock();
       drain();
       lock.lock();
-      if (--active == 0) region_done.notify_all();
+      --active;
+      obs::gauge_set(obs::Gauge::kPoolActiveWorkers, active);
+      if (active == 0) region_done.notify_all();
     }
   }
 
@@ -67,8 +101,13 @@ struct ThreadPool::Impl {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      // Occupancy gauge for the sampler: tasks are block-granularity, so one
+      // relaxed store per claim is noise next to the work itself.
+      obs::gauge_set(obs::Gauge::kPoolQueueDepth,
+                     n - i > 1 ? static_cast<std::uint64_t>(n - i - 1) : 0);
       ++executed;
       REALM_TRACE_SCOPE("pool/task");
+      maybe_inject_test_slowdown();
       try {
         (*fn)(i);
       } catch (...) {
@@ -129,6 +168,7 @@ void ThreadPool::run(std::size_t count, unsigned parallelism,
     }
     for (std::size_t i = 0; i < count; ++i) {
       REALM_TRACE_SCOPE("pool/task");
+      maybe_inject_test_slowdown();
       task(i);
     }
     obs::counter_add(obs::Counter::kPoolTasksExecuted, count);

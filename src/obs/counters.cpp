@@ -51,6 +51,8 @@ const char* counter_name(Counter c) noexcept {
 const char* gauge_name(Gauge g) noexcept {
   switch (g) {
     case Gauge::kPoolWorkers: return "pool_workers";
+    case Gauge::kPoolActiveWorkers: return "pool_active_workers";
+    case Gauge::kPoolQueueDepth: return "pool_queue_depth";
     case Gauge::kCount: break;
   }
   return "unknown";

@@ -1,0 +1,156 @@
+#include "realm/obs/sampler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "realm/obs/trace.hpp"
+
+namespace realm::obs {
+
+namespace {
+
+constexpr std::size_t kTimelineCap = std::size_t{1} << 16;
+
+struct SamplerState {
+  std::mutex m;
+  std::condition_variable cv;
+  std::thread thread;
+  bool running = false;
+  bool stop_requested = false;
+  std::chrono::nanoseconds period{0};
+
+  std::vector<TimelineSample> timeline;
+  std::size_t dropped = 0;
+  std::array<std::uint64_t, kCounterCount> last_counters{};
+};
+
+SamplerState& state() {
+  static SamplerState* s = new SamplerState;  // leaked: exporters run at exit
+  return *s;
+}
+
+// Resident set size from /proc/self/statm (field 2, in pages).  Returns 0 on
+// platforms without procfs — the timeline column is then uniformly zero.
+std::uint64_t read_rss_kb() noexcept {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long vm_pages = 0;
+  unsigned long long rss_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096) / 1024;
+#else
+  return 0;
+#endif
+}
+
+// Captures one sample; caller holds state().m (the timeline and the
+// last-counters baseline are sampler-thread + control-thread shared).
+void capture_locked(SamplerState& s) {
+  if (s.timeline.size() >= kTimelineCap) {
+    ++s.dropped;
+    return;
+  }
+  TimelineSample sample;
+  sample.t_ns = now_ns();
+  sample.rss_kb = read_rss_kb();
+  sample.pool_workers = gauge_value(Gauge::kPoolWorkers);
+  sample.pool_active = gauge_value(Gauge::kPoolActiveWorkers);
+  sample.pool_queue_depth = gauge_value(Gauge::kPoolQueueDepth);
+  for (unsigned c = 0; c < kCounterCount; ++c) {
+    const std::uint64_t v = counter_value(static_cast<Counter>(c));
+    // Deltas saturate at 0 so a counters_reset() mid-run (tests) cannot
+    // produce wrapped garbage.
+    sample.counter_delta[c] = v >= s.last_counters[c] ? v - s.last_counters[c] : 0;
+    s.last_counters[c] = v;
+  }
+  s.timeline.push_back(sample);
+}
+
+void sampler_loop() {
+  SamplerState& s = state();
+  std::unique_lock lock{s.m};
+  while (!s.stop_requested) {
+    s.cv.wait_for(lock, s.period, [&] { return s.stop_requested; });
+    capture_locked(s);  // the final wakeup also captures: stop() flushes
+  }
+}
+
+}  // namespace
+
+void Sampler::start(double hz) {
+  SamplerState& s = state();
+  std::lock_guard lock{s.m};
+  if (s.running) return;
+  if (hz < 1.0) hz = 1.0;
+  if (hz > 1000.0) hz = 1000.0;
+  s.period = std::chrono::nanoseconds{static_cast<std::uint64_t>(1e9 / hz)};
+  s.stop_requested = false;
+  for (unsigned c = 0; c < kCounterCount; ++c) {
+    s.last_counters[c] = counter_value(static_cast<Counter>(c));
+  }
+  s.thread = std::thread{sampler_loop};
+  s.running = true;
+}
+
+void Sampler::stop() {
+  SamplerState& s = state();
+  std::thread t;
+  {
+    std::lock_guard lock{s.m};
+    if (!s.running) return;
+    s.stop_requested = true;
+    t = std::move(s.thread);
+  }
+  s.cv.notify_all();
+  t.join();
+  std::lock_guard lock{s.m};
+  s.running = false;
+}
+
+bool Sampler::running() noexcept {
+  SamplerState& s = state();
+  std::lock_guard lock{s.m};
+  return s.running;
+}
+
+double sampler_env_hz() noexcept {
+  const char* v = std::getenv("REALM_SAMPLE_HZ");
+  if (v == nullptr || v[0] == '\0') return 0.0;
+  char* end = nullptr;
+  const double hz = std::strtod(v, &end);
+  if (end == nullptr || *end != '\0' || !(hz > 0.0)) return 0.0;
+  return hz;
+}
+
+std::vector<TimelineSample> timeline_samples() {
+  SamplerState& s = state();
+  std::lock_guard lock{s.m};
+  return s.timeline;
+}
+
+std::size_t timeline_samples_dropped() {
+  SamplerState& s = state();
+  std::lock_guard lock{s.m};
+  return s.dropped;
+}
+
+void timeline_reset() {
+  SamplerState& s = state();
+  std::lock_guard lock{s.m};
+  s.timeline.clear();
+  s.dropped = 0;
+}
+
+}  // namespace realm::obs

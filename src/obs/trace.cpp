@@ -1,5 +1,8 @@
 #include "realm/obs/trace.hpp"
 
+#include "realm/obs/sampler.hpp"
+
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -39,10 +42,45 @@ struct Slot {
   std::atomic<std::uint64_t> dur_ns{0};
 };
 
+/// Distinct span names one thread can histogram.  The whole library uses
+/// ~30 literals today; a thread that somehow exceeds the table keeps
+/// recording ring spans but stops gaining new histogram rows.
+constexpr std::size_t kMaxSpanNames = 64;
+
+// One per-thread histogram row.  `name` is written once by the owning
+// thread (published via the table's size counter); the histogram itself is
+// relaxed-atomic so the exporter can merge mid-run without tearing.
+struct HistEntry {
+  std::atomic<const char*> name{nullptr};
+  AtomicHistogram hist;
+};
+
 struct ThreadBuffer {
   std::uint32_t tid = 0;                  // dense export id, assigned at registration
   std::atomic<std::uint64_t> head{0};     // total spans ever recorded here
   std::vector<Slot> ring{kRingCapacity};
+  // Append-only name -> duration-histogram table; only the owning thread
+  // appends, exporters read up to hist_count (acquire).
+  std::array<HistEntry, kMaxSpanNames> hists;
+  std::atomic<std::size_t> hist_count{0};
+
+  AtomicHistogram* hist_for(const char* name) {
+    const std::size_t n = hist_count.load(std::memory_order_relaxed);
+    // Fast path: literal pointers are stable, so pointer equality almost
+    // always hits; the strcmp pass catches the same literal from another TU.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (hists[i].name.load(std::memory_order_relaxed) == name) return &hists[i].hist;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::strcmp(hists[i].name.load(std::memory_order_relaxed), name) == 0) {
+        return &hists[i].hist;
+      }
+    }
+    if (n >= kMaxSpanNames) return nullptr;
+    hists[n].name.store(name, std::memory_order_relaxed);
+    hist_count.store(n + 1, std::memory_order_release);
+    return &hists[n].hist;
+  }
 };
 
 struct Registry {
@@ -114,6 +152,7 @@ std::atomic<bool> g_trace_enabled{env_tracing_on()};
 
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns) {
   ThreadBuffer& b = local_buffer();
+  if (AtomicHistogram* hist = b.hist_for(name)) hist->record(dur_ns);
   const std::uint64_t h = b.head.load(std::memory_order_relaxed);
   Slot& s = b.ring[static_cast<std::size_t>(h % kRingCapacity)];
   s.name.store(name, std::memory_order_relaxed);
@@ -171,6 +210,19 @@ std::map<std::string, SpanAggregate> span_aggregates() {
   return agg;
 }
 
+std::map<std::string, HistogramSnapshot> span_histograms() {
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& b : buffer_snapshot()) {
+    const std::size_t n = b->hist_count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const char* name = b->hists[i].name.load(std::memory_order_relaxed);
+      if (name == nullptr) continue;  // cleared by a concurrent reset
+      out[name].merge(b->hists[i].hist.snapshot());
+    }
+  }
+  return out;
+}
+
 std::string chrome_trace_json() {
   const std::vector<ExportEvent> events = collect_events();
   std::string out;
@@ -204,6 +256,29 @@ std::string chrome_trace_json() {
     out += std::to_string(e.tid);
     out += '}';
   }
+
+  // Sampler timeline as counter ("C" phase) tracks: Perfetto renders pool
+  // occupancy and RSS as area charts below the span rows.  Empty when the
+  // sampler never ran.
+  for (const TimelineSample& s : timeline_samples()) {
+    const auto counter_event = [&](const char* name, const char* arg,
+                                   std::uint64_t value) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      out += name;
+      out += "\",\"cat\":\"realm\",\"ph\":\"C\",\"ts\":";
+      append_double(out, static_cast<double>(s.t_ns) / 1000.0);
+      out += ",\"pid\":1,\"args\":{\"";
+      out += arg;
+      out += "\":";
+      out += std::to_string(value);
+      out += "}}";
+    };
+    counter_event("pool_active_workers", "active", s.pool_active);
+    counter_event("pool_queue_depth", "depth", s.pool_queue_depth);
+    counter_event("rss_kb", "kb", s.rss_kb);
+  }
   out += "]}";
   return out;
 }
@@ -221,6 +296,12 @@ void trace_reset() {
   for (const auto& b : buffer_snapshot()) {
     for (Slot& s : b->ring) s.name.store(nullptr, std::memory_order_relaxed);
     b->head.store(0, std::memory_order_release);
+    const std::size_t n = b->hist_count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      b->hists[i].hist.reset();
+      b->hists[i].name.store(nullptr, std::memory_order_relaxed);
+    }
+    b->hist_count.store(0, std::memory_order_release);
   }
 }
 

@@ -1,23 +1,35 @@
 // Telemetry subsystem tests: span recording/nesting/interleaving, counter
 // atomicity under the thread pool, the pool's inline-contention counter,
-// Chrome-trace and MetricsSink JSON well-formedness, and the disabled-mode
+// log2 histogram bucket/percentile exactness, span-histogram merging,
+// the queue-wait value histogram, the utilization sampler, Chrome-trace
+// and MetricsSink JSON well-formedness, and the disabled-mode
 // zero-overhead contract (no events recorded at all).
 //
 // All obs state is process-global, so every test starts from
-// trace_reset()/counters_reset() and leaves tracing disabled on exit.
+// trace_reset()/counters_reset()/value_hist_reset()/timeline_reset() and
+// leaves tracing disabled and the sampler stopped on exit.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "realm/numeric/thread_pool.hpp"
 #include "realm/obs/counters.hpp"
+#include "realm/obs/histogram.hpp"
 #include "realm/obs/metrics_sink.hpp"
+#include "realm/obs/sampler.hpp"
 #include "realm/obs/trace.hpp"
 
 namespace {
@@ -147,15 +159,16 @@ class MiniJson {
 // RAII guard: every test runs against clean global state and cannot leak an
 // enabled tracing flag into later tests (or vice versa).
 struct ObsSandbox {
-  ObsSandbox() {
+  ObsSandbox() { clean(); }
+  ~ObsSandbox() { clean(); }
+
+  static void clean() {
+    obs::Sampler::stop();
     obs::set_tracing(false);
     obs::trace_reset();
     obs::counters_reset();
-  }
-  ~ObsSandbox() {
-    obs::set_tracing(false);
-    obs::trace_reset();
-    obs::counters_reset();
+    obs::value_hist_reset();
+    obs::timeline_reset();
   }
 };
 
@@ -350,7 +363,7 @@ TEST(MetricsSink, DocumentIsSchemaStableAndParses) {
   const std::string json = sink.to_json();
   MiniJson parser{json};
   EXPECT_TRUE(parser.valid()) << json;
-  EXPECT_NE(json.find("\"schema\": \"realm-bench-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"realm-bench-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"bench\": \"unit_test\""), std::string::npos);
   EXPECT_NE(json.find("\"generated_utc\""), std::string::npos);
   EXPECT_NE(json.find("\"speedup\": 5.25"), std::string::npos);
@@ -363,7 +376,265 @@ TEST(MetricsSink, DocumentIsSchemaStableAndParses) {
   }
   EXPECT_NE(json.find("\"lut_cache_hits\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"pool_workers\""), std::string::npos);
+  // v3 sections: the run stamp, span percentiles + bucket arrays, the full
+  // value-histogram catalog, and a (possibly empty) timeline.
+  EXPECT_NE(json.find("\"run\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"host\": "), std::string::npos);
+  EXPECT_NE(json.find("\"commit\": "), std::string::npos);
+  EXPECT_NE(json.find("\"hw_threads\": "), std::string::npos);
   EXPECT_NE(json.find("\"test/sink\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_us\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p95_us\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\": "), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"value_histograms\": {"), std::string::npos);
+  for (unsigned h = 0; h < obs::kValueHistCount; ++h) {
+    EXPECT_NE(
+        json.find(obs::json_quote(obs::value_hist_name(static_cast<obs::ValueHist>(h)))),
+        std::string::npos);
+  }
+  EXPECT_NE(json.find("\"timeline\": ["), std::string::npos);
+}
+
+TEST(Histogram, BucketBoundariesAreExact) {
+  // bucket 0 = {0}; bucket i = [2^(i-1), 2^i); bucket 63 open-ended.
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  for (unsigned k = 1; k < 63; ++k) {
+    const std::uint64_t lo = std::uint64_t{1} << (k - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << k) - 1;
+    EXPECT_EQ(obs::histogram_bucket(lo), k) << "lower edge of bucket " << k;
+    EXPECT_EQ(obs::histogram_bucket(hi), k) << "upper edge of bucket " << k;
+    EXPECT_EQ(obs::histogram_bucket_lower(k), lo);
+    EXPECT_EQ(obs::histogram_bucket_upper(k), hi);
+  }
+  // The last bucket absorbs everything from 2^62 upward.
+  EXPECT_EQ(obs::histogram_bucket(std::uint64_t{1} << 62), 63u);
+  EXPECT_EQ(obs::histogram_bucket(~std::uint64_t{0}), 63u);
+  EXPECT_EQ(obs::histogram_bucket_upper(63), ~std::uint64_t{0});
+  EXPECT_EQ(obs::histogram_bucket_lower(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_upper(0), 0u);
+}
+
+TEST(Histogram, PercentileBoundsAgainstSortedReference) {
+  // The documented contract: for the nearest-rank k-th smallest value v
+  // (k = ceil(q*count)), the estimate satisfies v <= est < 2*v (v > 0),
+  // and est is additionally clamped to the observed max.
+  std::mt19937_64 rng{20260808};
+  for (int trial = 0; trial < 20; ++trial) {
+    obs::HistogramSnapshot h;
+    std::vector<std::uint64_t> samples;
+    const int n = 1 + static_cast<int>(rng() % 2000);
+    for (int i = 0; i < n; ++i) {
+      // Mix magnitudes so several buckets are hit, including zeros.
+      const unsigned shift = static_cast<unsigned>(rng() % 40);
+      const std::uint64_t v = rng() >> (63 - shift % 63);
+      samples.push_back(v);
+      h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double q : {0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0}) {
+      const std::size_t k = static_cast<std::size_t>(
+          std::max<double>(1.0, std::ceil(q * static_cast<double>(samples.size()))));
+      const std::uint64_t v_true = samples[k - 1];
+      const std::uint64_t est = h.percentile(q);
+      EXPECT_GE(est, v_true) << "q=" << q << " n=" << n;
+      if (v_true > 0) {
+        EXPECT_LE(est, 2 * v_true - 1) << "q=" << q << " n=" << n;
+      } else {
+        // The k-th smallest is 0, so it falls in bucket 0, whose inclusive
+        // upper edge is exactly 0: zero quantiles resolve with no slack.
+        EXPECT_EQ(est, 0u) << "q=" << q << " n=" << n;
+      }
+      EXPECT_LE(est, h.max);
+    }
+  }
+  EXPECT_EQ(obs::HistogramSnapshot{}.percentile(0.5), 0u);  // empty => 0
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  std::mt19937_64 rng{7};
+  obs::HistogramSnapshot a;
+  obs::HistogramSnapshot b;
+  obs::HistogramSnapshot combined;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng() >> (rng() % 64);
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count, combined.count);
+  EXPECT_EQ(a.total, combined.total);
+  EXPECT_EQ(a.min, combined.min);
+  EXPECT_EQ(a.max, combined.max);
+  EXPECT_EQ(a.buckets, combined.buckets);
+  // Merging an empty histogram is the identity (min stays untouched).
+  const obs::HistogramSnapshot before = a;
+  a.merge(obs::HistogramSnapshot{});
+  EXPECT_EQ(a.count, before.count);
+  EXPECT_EQ(a.min, before.min);
+  EXPECT_EQ(a.max, before.max);
+}
+
+TEST(Histogram, AtomicConcurrentRecordingIsLossless) {
+  obs::AtomicHistogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPer = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        h.record(static_cast<std::uint64_t>(t) * kPer + i + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPer);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, kThreads * kPer);
+  // Sum 1..N: every recorded value accounted for exactly once.
+  EXPECT_EQ(s.total, kThreads * kPer * (kThreads * kPer + 1) / 2);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : s.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, s.count);
+}
+
+TEST(Trace, SpanHistogramsMergeAcrossThreads) {
+  ObsSandbox sandbox;
+  obs::set_tracing(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPer = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPer; ++i) {
+        REALM_TRACE_SCOPE("test/hist_merge");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto hists = obs::span_histograms();
+  ASSERT_EQ(hists.count("test/hist_merge"), 1u);
+  const obs::HistogramSnapshot& h = hists.at("test/hist_merge");
+  // Histograms never lose spans to ring wrap: the merged count is exact and
+  // matches the sum-based aggregates.
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads) * kSpansPer);
+  const auto agg = obs::span_aggregates();
+  EXPECT_EQ(h.total, agg.at("test/hist_merge").total_ns);
+  EXPECT_EQ(h.min, agg.at("test/hist_merge").min_ns);
+  EXPECT_EQ(h.max, agg.at("test/hist_merge").max_ns);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : h.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, h.count);
+  EXPECT_GE(h.percentile(0.5), h.min);
+  EXPECT_LE(h.percentile(0.99), h.max);
+
+  // And a second identical merge is deterministic.
+  const auto again = obs::span_histograms();
+  EXPECT_EQ(again.at("test/hist_merge").buckets, h.buckets);
+}
+
+TEST(Counters, QueueWaitHistogramTracksCounterTotal) {
+  ObsSandbox sandbox;
+  ThreadPool pool{1};
+  // Both tasks rendezvous, so the caller cannot finish the region alone: the
+  // worker must join, and joining is what records a queue-wait sample.
+  std::atomic<int> started{0};
+  pool.run(2, 0, [&](std::size_t) {
+    started.fetch_add(1);
+    while (started.load() < 2) std::this_thread::yield();
+  });
+  const obs::HistogramSnapshot wait =
+      obs::value_hist_snapshot(obs::ValueHist::kPoolQueueWaitNs);
+  EXPECT_EQ(wait.count, 1u);  // exactly one worker joined exactly one region
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPoolQueueWaitNs), wait.total);
+  EXPECT_LE(wait.min, wait.max);
+}
+
+TEST(Counters, CatalogNamesAreSyncedUniqueAndStable) {
+  // Every enum value must map to a distinct, non-placeholder snake_case
+  // name: a renamed or forgotten catalog entry breaks schema consumers.
+  const auto check = [](const std::vector<std::string>& names, const char* what) {
+    std::set<std::string> seen;
+    for (const std::string& n : names) {
+      EXPECT_FALSE(n.empty()) << what;
+      EXPECT_NE(n, "unknown") << what;
+      for (const char c : n) {
+        EXPECT_TRUE((std::islower(static_cast<unsigned char>(c)) != 0) ||
+                    (std::isdigit(static_cast<unsigned char>(c)) != 0) || c == '_')
+            << what << ": '" << n << "'";
+      }
+      EXPECT_TRUE(seen.insert(n).second) << what << ": duplicate '" << n << "'";
+    }
+    EXPECT_EQ(seen.size(), names.size()) << what;
+  };
+
+  std::vector<std::string> counters;
+  for (unsigned c = 0; c < obs::kCounterCount; ++c) {
+    counters.emplace_back(obs::counter_name(static_cast<obs::Counter>(c)));
+  }
+  check(counters, "counter_name");
+
+  std::vector<std::string> gauges;
+  for (unsigned g = 0; g < obs::kGaugeCount; ++g) {
+    gauges.emplace_back(obs::gauge_name(static_cast<obs::Gauge>(g)));
+  }
+  check(gauges, "gauge_name");
+
+  std::vector<std::string> vhists;
+  for (unsigned h = 0; h < obs::kValueHistCount; ++h) {
+    vhists.emplace_back(obs::value_hist_name(static_cast<obs::ValueHist>(h)));
+  }
+  check(vhists, "value_hist_name");
+}
+
+TEST(MetricsSink, JsonValue64BitValuesDoNotTruncate) {
+  // Regression test for the LLP64 narrowing bug: long long used to funnel
+  // through static_cast<long>, truncating above 2^31 where long is 32 bits.
+  EXPECT_EQ(obs::JsonValue{9223372036854775807LL}.render(), "9223372036854775807");
+  EXPECT_EQ(obs::JsonValue{-9223372036854775807LL}.render(), "-9223372036854775807");
+  EXPECT_EQ(obs::JsonValue{18446744073709551615ULL}.render(), "18446744073709551615");
+  EXPECT_EQ(obs::JsonValue{std::uint64_t{1} << 40}.render(), "1099511627776");
+}
+
+TEST(Sampler, StartStopCapturesMonotonicTimeline) {
+  ObsSandbox sandbox;
+  EXPECT_FALSE(obs::Sampler::running());
+  obs::Sampler::start(1000.0);
+  EXPECT_TRUE(obs::Sampler::running());
+  obs::counter_add(obs::Counter::kMcSamples, 17);
+  std::this_thread::sleep_for(std::chrono::milliseconds{30});
+  obs::Sampler::stop();
+  EXPECT_FALSE(obs::Sampler::running());
+
+  const auto samples = obs::timeline_samples();
+  // stop() flushes one final sample, so even a fully starved run is non-empty.
+  ASSERT_FALSE(samples.empty());
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_ns, samples[i - 1].t_ns);
+  }
+  // The counter bump must appear as a delta in exactly the right amount.
+  std::uint64_t mc_delta_sum = 0;
+  for (const auto& s : samples) {
+    mc_delta_sum += s.counter_delta[static_cast<unsigned>(obs::Counter::kMcSamples)];
+  }
+  EXPECT_EQ(mc_delta_sum, 17u);
+  EXPECT_EQ(obs::timeline_samples_dropped(), 0u);
+
+  // timeline_reset clears it; a second start() records afresh.
+  obs::timeline_reset();
+  EXPECT_TRUE(obs::timeline_samples().empty());
+}
+
+TEST(Sampler, EnvHzParsing) {
+  // sampler_env_hz reads REALM_SAMPLE_HZ; unset in the test environment.
+  if (std::getenv("REALM_SAMPLE_HZ") == nullptr) {
+    EXPECT_EQ(obs::sampler_env_hz(), 0.0);
+  }
 }
 
 TEST(MetricsSink, NonFiniteMetricsBecomeNull) {

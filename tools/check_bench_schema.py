@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
-"""Validate bench output files against the realm-bench-v2 schema.
+"""Validate bench output files against the realm-bench-v3 schema.
 
 Usage: check_bench_schema.py FILE [FILE ...]
        check_bench_schema.py --equal-metrics FILE_A FILE_B
        check_bench_schema.py --min-counter FILE NAME MIN
        check_bench_schema.py --min-speedup FILE MIN [METRIC]
+       check_bench_schema.py --min-timeline FILE N
 
 Two file kinds are accepted:
-  * BENCH_*.json — MetricsSink documents; must carry schema "realm-bench-v2"
-    with `meta` (including the producing bench's name), `metrics`, the full
-    `counters` catalog (including the campaign-store hit/miss/bytes and
-    resumed-vs-computed unit counters), `gauges` and `spans` sections.
+  * BENCH_*.json — MetricsSink documents; must carry schema "realm-bench-v3"
+    with `meta` (including the producing bench's name), a `run` stamp
+    (host/commit/hw_threads), `metrics`, the full `counters` catalog
+    (including the campaign-store hit/miss/bytes and resumed-vs-computed
+    unit counters), `gauges`, `spans` (each span with count/total/mean/min/
+    max/p50/p95/p99 in µs plus a 64-entry log2 bucket array), the full
+    `value_histograms` catalog and a `timeline` list (sampler snapshots;
+    empty unless --sample-hz was given).
   * trace_*.json — Chrome trace-event exports; must hold a non-empty
     `traceEvents` list whose complete ("X") events carry name/ts/dur/pid/tid.
 
@@ -23,6 +28,8 @@ metrics[METRIC] >= MIN in one document; METRIC defaults to
 "speedup_row_vs_generic" (the CI gate for the row-hoisted exhaustive
 kernels).  The app-bench smoke passes METRIC=speedup_batched_vs_scalar to
 gate the batched JPEG engine's floor against BENCH_apps.json.
+--min-timeline asserts the document's timeline holds at least N sampler
+snapshots — the CI smoke for --sample-hz actually sampling.
 
 Exits non-zero (listing every problem) if any check fails, so CI catches a
 bench drifting off the unified schema the moment it happens.  Stdlib only.
@@ -63,12 +70,45 @@ EXPECTED_COUNTERS = [
     "dsp_taps_batched",
 ]
 
-EXPECTED_GAUGES = ["pool_workers"]
+EXPECTED_GAUGES = ["pool_workers", "pool_active_workers", "pool_queue_depth"]
+
+# Keep in sync with obs::ValueHist / value_hist_name()
+# (include/realm/obs/histogram.hpp).
+EXPECTED_VALUE_HISTOGRAMS = ["pool_queue_wait_ns", "store_record_bytes"]
+
+HISTOGRAM_BUCKETS = 64
+
+# Per-span and per-value-histogram summary columns (µs-scaled for spans,
+# raw units for value histograms).
+SPAN_FIELDS = ("count", "total_us", "mean_us", "min_us", "max_us",
+               "p50_us", "p95_us", "p99_us")
+VHIST_FIELDS = ("count", "total", "mean", "min", "max", "p50", "p95", "p99")
+
+TIMELINE_FIELDS = ("t_us", "rss_kb", "pool_workers", "pool_active",
+                   "pool_queue_depth", "counters")
+
+
+def check_histogram(name, entry, fields, problems):
+    if not isinstance(entry, dict):
+        problems.append(f"{name} is not an object")
+        return
+    for key in fields:
+        if not isinstance(entry.get(key), (int, float)) or isinstance(
+                entry.get(key), bool):
+            problems.append(f"{name} missing numeric {key!r}")
+    buckets = entry.get("buckets")
+    if (not isinstance(buckets, list) or len(buckets) != HISTOGRAM_BUCKETS
+            or not all(isinstance(b, int) and b >= 0 for b in buckets)):
+        problems.append(
+            f"{name}.buckets is not a {HISTOGRAM_BUCKETS}-entry list of"
+            " non-negative integers")
+    elif isinstance(entry.get("count"), int) and sum(buckets) != entry["count"]:
+        problems.append(f"{name}: bucket sum {sum(buckets)} != count {entry['count']}")
 
 
 def check_bench(doc, problems):
-    if doc.get("schema") != "realm-bench-v2":
-        problems.append(f"schema is {doc.get('schema')!r}, expected 'realm-bench-v2'")
+    if doc.get("schema") != "realm-bench-v3":
+        problems.append(f"schema is {doc.get('schema')!r}, expected 'realm-bench-v3'")
     meta = doc.get("meta")
     if not isinstance(meta, dict):
         problems.append("missing 'meta' object")
@@ -76,6 +116,15 @@ def check_bench(doc, problems):
         problems.append("meta.bench is missing or empty")
     elif not meta.get("generated_utc"):
         problems.append("meta.generated_utc is missing or empty")
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        problems.append("missing 'run' object")
+    else:
+        for key in ("host", "commit"):
+            if not run.get(key):
+                problems.append(f"run.{key} is missing or empty")
+        if not isinstance(run.get("hw_threads"), int):
+            problems.append("run.hw_threads is not an integer")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict) or not metrics:
         problems.append("missing or empty 'metrics' object")
@@ -96,8 +145,35 @@ def check_bench(doc, problems):
         for name in EXPECTED_GAUGES:
             if name not in gauges:
                 problems.append(f"gauges missing {name!r}")
-    if not isinstance(doc.get("spans"), dict):
+    spans = doc.get("spans")
+    if not isinstance(spans, dict):
         problems.append("missing 'spans' object")
+    else:
+        for name, entry in spans.items():
+            check_histogram(f"spans[{name!r}]", entry, SPAN_FIELDS, problems)
+    vhists = doc.get("value_histograms")
+    if not isinstance(vhists, dict):
+        problems.append("missing 'value_histograms' object")
+    else:
+        for name in EXPECTED_VALUE_HISTOGRAMS:
+            if name not in vhists:
+                problems.append(f"value_histograms missing {name!r}")
+        for name, entry in vhists.items():
+            check_histogram(f"value_histograms[{name!r}]", entry, VHIST_FIELDS,
+                            problems)
+    timeline = doc.get("timeline")
+    if not isinstance(timeline, list):
+        problems.append("missing 'timeline' list")
+    else:
+        for i, sample in enumerate(timeline):
+            if not isinstance(sample, dict):
+                problems.append(f"timeline[{i}] is not an object")
+                continue
+            for key in TIMELINE_FIELDS:
+                if key not in sample:
+                    problems.append(f"timeline[{i}] missing {key!r}")
+            if not isinstance(sample.get("counters"), dict):
+                problems.append(f"timeline[{i}].counters is not an object")
 
 
 def check_trace(doc, problems):
@@ -174,6 +250,18 @@ def min_speedup(path, minimum, metric="speedup_row_vs_generic"):
     return 0
 
 
+def min_timeline(path, minimum):
+    timeline = load(path).get("timeline")
+    if not isinstance(timeline, list):
+        print(f"FAIL {path}: missing 'timeline' list")
+        return 1
+    if len(timeline) < minimum:
+        print(f"FAIL {path}: timeline has {len(timeline)} sample(s) < required {minimum}")
+        return 1
+    print(f"ok   {path}: timeline has {len(timeline)} sample(s) >= {minimum}")
+    return 0
+
+
 def min_counter(path, name, minimum):
     counters = load(path).get("counters")
     value = counters.get(name) if isinstance(counters, dict) else None
@@ -204,6 +292,12 @@ def main(argv):
                       file=sys.stderr)
                 return 2
             return min_counter(argv[2], argv[3], int(argv[4]))
+        if argv[1] == "--min-timeline":
+            if len(argv) != 4:
+                print("usage: check_bench_schema.py --min-timeline FILE N",
+                      file=sys.stderr)
+                return 2
+            return min_timeline(argv[2], int(argv[3]))
         if argv[1] == "--min-speedup":
             if len(argv) not in (4, 5):
                 print("usage: check_bench_schema.py --min-speedup FILE MIN [METRIC]",
