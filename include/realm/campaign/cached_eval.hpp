@@ -54,6 +54,9 @@ inline constexpr const char* kFaultEngineVersion = "packed-v1";
 [[nodiscard]] err::ErrorMetrics parse_error_metrics(const std::string& payload);
 [[nodiscard]] std::string serialize_exhaustive_report(const err::ExhaustiveReport& r);
 [[nodiscard]] err::ExhaustiveReport parse_exhaustive_report(const std::string& payload);
+struct SynthesisResult;
+[[nodiscard]] std::string serialize_synthesis(const SynthesisResult& s);
+[[nodiscard]] SynthesisResult parse_synthesis(const std::string& payload);
 
 // -- memoized front ends ----------------------------------------------------
 

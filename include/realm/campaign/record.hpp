@@ -56,6 +56,9 @@ class PayloadWriter {
   PayloadWriter& field(std::string_view name, double value);       // %a
   PayloadWriter& field(std::string_view name, std::uint64_t value);
   PayloadWriter& field(std::string_view name, std::int64_t value);
+  /// Verbatim string value; must not contain '\n' (asserted).  Added for
+  /// the net wire protocol, whose request bodies carry design specs.
+  PayloadWriter& field_str(std::string_view name, std::string_view value);
 
   [[nodiscard]] const std::string& str() const noexcept { return text_; }
 
@@ -73,6 +76,7 @@ class PayloadReader {
   [[nodiscard]] double get_double(std::string_view name) const;
   [[nodiscard]] std::uint64_t get_u64(std::string_view name) const;
   [[nodiscard]] std::int64_t get_i64(std::string_view name) const;
+  [[nodiscard]] const std::string& get_string(std::string_view name) const;
   [[nodiscard]] bool has(std::string_view name) const;
 
  private:

@@ -52,6 +52,16 @@
 //                       matvec path (products, counted once per forward)
 //   kDspTapsBatched     tap x pixel products issued through the batched
 //                       FIR/Sobel row engine (counted once per image)
+//   kNetAccepts         connections accepted by the serving event loop
+//   kNetRequests        request frames decoded and answered (any reply type)
+//   kNetBytesIn         bytes read from client sockets
+//   kNetBytesOut        bytes written to client sockets
+//   kNetFrameErrors     frames rejected with a typed error reply (bad magic,
+//                       bad checksum, oversized, unknown type, bad request)
+//   kNetBackpressureStalls  read-side stalls entered because a connection's
+//                       write buffer crossed its high-water mark
+//   kNetDrained         in-flight requests flushed during graceful drain
+//                       (between SIGINT/SIGTERM and the event loop exiting)
 
 #pragma once
 
@@ -89,6 +99,13 @@ enum class Counter : unsigned {
   kDctBlocksBatched,
   kNnMacsBatched,
   kDspTapsBatched,
+  kNetAccepts,
+  kNetRequests,
+  kNetBytesIn,
+  kNetBytesOut,
+  kNetFrameErrors,
+  kNetBackpressureStalls,
+  kNetDrained,
   kCount
 };
 

@@ -151,8 +151,9 @@ err::ExhaustiveReport cached_exhaustive(CampaignRunner* runner,
   return parse_exhaustive_report(payload);
 }
 
-namespace {
-
+// Public since the serving layer: the net warm path answers synthesis
+// requests with the stored payload verbatim, so the codec is part of the
+// wire contract, not a private detail.
 [[nodiscard]] std::string serialize_synthesis(const SynthesisResult& s) {
   return PayloadWriter{}
       .field("area_um2", s.area_um2)
@@ -173,6 +174,8 @@ namespace {
   s.delay_ps = r.get_double("delay_ps");
   return s;
 }
+
+namespace {
 
 [[nodiscard]] SynthesisResult compute_synthesis(hw::CostModel& cm,
                                                 const std::string& spec, int n) {

@@ -85,6 +85,16 @@ PayloadWriter& PayloadWriter::field(std::string_view name, std::int64_t value) {
   return *this;
 }
 
+PayloadWriter& PayloadWriter::field_str(std::string_view name,
+                                        std::string_view value) {
+  assert(value.find('\n') == std::string_view::npos);
+  text_ += name;
+  text_ += '=';
+  text_ += value;
+  text_ += '\n';
+  return *this;
+}
+
 PayloadReader::PayloadReader(std::string_view text) : text_{text} {
   std::size_t pos = 0;
   while (pos < text_.size()) {
@@ -116,6 +126,10 @@ bool PayloadReader::has(std::string_view name) const {
     if (kv.first == name) return true;
   }
   return false;
+}
+
+const std::string& PayloadReader::get_string(std::string_view name) const {
+  return raw(name);
 }
 
 double PayloadReader::get_double(std::string_view name) const {

@@ -1,0 +1,143 @@
+#include "realm/net/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace realm::net {
+
+namespace {
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string{what} + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_{std::exchange(other.fd_, -1)}, decoder_{std::move(other.decoder_)} {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+void Client::connect_unix(const std::string& path) {
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error(errno_message("socket(AF_UNIX)"));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    close();
+    throw std::runtime_error("net: unix socket path too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string msg = errno_message("connect(unix)");
+    close();
+    throw std::runtime_error(msg);
+  }
+}
+
+void Client::connect_tcp(int port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error(errno_message("socket(AF_INET)"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string msg = errno_message("connect(tcp)");
+    close();
+    throw std::runtime_error(msg);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::send_request(MsgType type, std::uint64_t seq, std::string_view body) {
+  send_raw(encode_frame(type, seq, body));
+}
+
+void Client::send_raw(std::string_view bytes) {
+  if (fd_ < 0) throw std::runtime_error("net: client is not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(errno_message("send"));
+  }
+}
+
+Frame Client::recv_reply(int timeout_ms) {
+  if (fd_ < 0) throw std::runtime_error("net: client is not connected");
+  Frame f;
+  for (;;) {
+    switch (decoder_.next(f)) {
+      case FrameDecoder::Status::kFrame:
+        return f;
+      case FrameDecoder::Status::kNeedMore:
+        break;
+      default:
+        throw std::runtime_error("net: reply stream is corrupt");
+    }
+    if (timeout_ms > 0) {
+      pollfd p{fd_, POLLIN, 0};
+      const int r = ::poll(&p, 1, timeout_ms);
+      if (r == 0) throw std::runtime_error("net: reply timed out");
+      if (r < 0 && errno != EINTR) throw std::runtime_error(errno_message("poll"));
+      if (r < 0) continue;
+    }
+    char buf[1 << 16];
+    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    if (r > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) throw std::runtime_error("net: server closed the connection");
+    if (errno == EINTR) continue;
+    throw std::runtime_error(errno_message("recv"));
+  }
+}
+
+Frame Client::call(MsgType type, std::uint64_t seq, std::string_view body,
+                   int timeout_ms) {
+  send_request(type, seq, body);
+  Frame f = recv_reply(timeout_ms);
+  if (f.seq != seq) throw std::runtime_error("net: reply seq mismatch");
+  return f;
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::shutdown_write() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace realm::net

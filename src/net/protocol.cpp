@@ -1,0 +1,234 @@
+#include "realm/net/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "realm/campaign/record.hpp"
+#include "realm/campaign/result_store.hpp"
+
+namespace realm::net {
+
+namespace {
+
+void put_le32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_le64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+[[nodiscard]] std::uint32_t get_le32(const char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+[[nodiscard]] std::uint64_t get_le64(const char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+/// Checksum input: LE(type) . LE(seq) . LE(body_len) . body — the same
+/// lengths-then-content recipe the campaign journal uses.
+[[nodiscard]] std::uint64_t frame_checksum(std::uint32_t type, std::uint64_t seq,
+                                           std::string_view body) {
+  std::string prefix;
+  prefix.reserve(16);
+  put_le32(prefix, type);
+  put_le64(prefix, seq);
+  put_le32(prefix, static_cast<std::uint32_t>(body.size()));
+  std::uint64_t h = campaign::fnv1a64(prefix);
+  // Continue FNV-1a over the body without concatenating (bodies can be MBs).
+  for (const char c : body) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kBadMagic: return "bad_magic";
+    case ErrorCode::kBadChecksum: return "bad_checksum";
+    case ErrorCode::kFrameTooLarge: return "frame_too_large";
+    case ErrorCode::kUnknownType: return "unknown_type";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(MsgType type, std::uint64_t seq, std::string_view body) {
+  if (body.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::runtime_error("net: frame body exceeds u32 length");
+  }
+  const auto t = static_cast<std::uint32_t>(type);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + body.size());
+  put_le32(out, kFrameMagic);
+  put_le32(out, t);
+  put_le64(out, seq);
+  put_le32(out, static_cast<std::uint32_t>(body.size()));
+  put_le64(out, frame_checksum(t, seq, body));
+  out.append(body);
+  return out;
+}
+
+std::string encode_error(std::uint64_t seq, ErrorCode code,
+                         std::string_view message) {
+  const std::string body = campaign::PayloadWriter{}
+                               .field("code", static_cast<std::uint64_t>(code))
+                               .field_str("message", message)
+                               .str();
+  return encode_frame(MsgType::kReplyError, seq, body);
+}
+
+ErrorReply parse_error(const std::string& body) {
+  const campaign::PayloadReader r{body};
+  ErrorReply e;
+  e.code = static_cast<ErrorCode>(r.get_u64("code"));
+  e.message = r.get_string("message");
+  return e;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (poisoned_) return;
+  // Oversized bodies are skipped before buffering so memory stays bounded by
+  // header + max_body regardless of what a hostile client sends.
+  if (discard_ != 0) {
+    const std::size_t skip = n < discard_ ? n : static_cast<std::size_t>(discard_);
+    data += skip;
+    n -= skip;
+    discard_ -= skip;
+    if (n == 0) return;
+  }
+  // Compact the consumed prefix before growing (amortized O(1) per byte).
+  if (pos_ != 0 && (pos_ >= buf_.size() || pos_ > (std::size_t{1} << 16))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& frame) {
+  // Once the stream loses framing there is no way back: keep reporting it.
+  if (poisoned_) return Status::kBadMagic;
+  // A finished discard reports the oversized frame exactly once.
+  if (discard_ == 0 && discard_type_ != 0) {
+    frame.type = static_cast<MsgType>(discard_type_);
+    frame.seq = discard_seq_;
+    frame.body.clear();
+    discard_type_ = 0;
+    discard_seq_ = 0;
+    return Status::kTooLarge;
+  }
+  if (buffered() < kFrameHeaderBytes) return Status::kNeedMore;
+  const char* h = buf_.data() + pos_;
+  if (get_le32(h) != kFrameMagic) {
+    poisoned_ = true;
+    return Status::kBadMagic;
+  }
+  const std::uint32_t type = get_le32(h + 4);
+  const std::uint64_t seq = get_le64(h + 8);
+  const std::uint32_t body_len = get_le32(h + 16);
+  const std::uint64_t checksum = get_le64(h + 20);
+  if (body_len > max_body_) {
+    // Enter discard mode: drop whatever body bytes are already buffered and
+    // remember how many are still owed by the stream.
+    const std::size_t have = buffered() - kFrameHeaderBytes;
+    const std::size_t eat = have < body_len ? have : body_len;
+    pos_ += kFrameHeaderBytes + eat;
+    discard_ = body_len - eat;
+    if (discard_ != 0) {
+      discard_type_ = type;
+      discard_seq_ = seq;
+      return Status::kNeedMore;
+    }
+    frame.type = static_cast<MsgType>(type);
+    frame.seq = seq;
+    frame.body.clear();
+    return Status::kTooLarge;
+  }
+  if (buffered() < kFrameHeaderBytes + body_len) return Status::kNeedMore;
+  frame.type = static_cast<MsgType>(type);
+  frame.seq = seq;
+  frame.body.assign(buf_, pos_ + kFrameHeaderBytes, body_len);
+  pos_ += kFrameHeaderBytes + body_len;
+  if (frame_checksum(type, seq, frame.body) != checksum) {
+    frame.body.clear();
+    return Status::kBadChecksum;
+  }
+  return Status::kFrame;
+}
+
+std::string encode_u64_list(const std::vector<std::uint64_t>& v) {
+  std::string out;
+  char buf[24];
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v[i]));
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+template <typename T, typename Parse>
+std::vector<T> parse_list(const std::string& s, Parse parse) {
+  std::vector<T> out;
+  if (s.empty()) return out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(parse(s.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> parse_u64_list(const std::string& s) {
+  return parse_list<std::uint64_t>(s, [](const std::string& tok) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (tok.empty() || end == tok.c_str() || *end != '\0' || tok[0] == '-') {
+      throw std::runtime_error("net: bad u64 list element '" + tok + "'");
+    }
+    return static_cast<std::uint64_t>(v);
+  });
+}
+
+std::string encode_double_list(const std::vector<double>& v) {
+  std::string out;
+  char buf[48];
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    std::snprintf(buf, sizeof buf, "%a", v[i]);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& s) {
+  return parse_list<double>(s, [](const std::string& tok) {
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end == tok.c_str() || *end != '\0') {
+      throw std::runtime_error("net: bad double list element '" + tok + "'");
+    }
+    return d;
+  });
+}
+
+}  // namespace realm::net

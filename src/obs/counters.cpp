@@ -43,6 +43,13 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kDctBlocksBatched: return "dct_blocks_batched";
     case Counter::kNnMacsBatched: return "nn_macs_batched";
     case Counter::kDspTapsBatched: return "dsp_taps_batched";
+    case Counter::kNetAccepts: return "net_accepts";
+    case Counter::kNetRequests: return "net_requests";
+    case Counter::kNetBytesIn: return "net_bytes_in";
+    case Counter::kNetBytesOut: return "net_bytes_out";
+    case Counter::kNetFrameErrors: return "net_frame_errors";
+    case Counter::kNetBackpressureStalls: return "net_backpressure_stalls";
+    case Counter::kNetDrained: return "net_drained";
     case Counter::kCount: break;
   }
   return "unknown";

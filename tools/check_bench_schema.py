@@ -3,8 +3,10 @@
 
 Usage: check_bench_schema.py FILE [FILE ...]
        check_bench_schema.py --equal-metrics FILE_A FILE_B
+       check_bench_schema.py --equal-metric FILE_A FILE_B KEY
        check_bench_schema.py --min-counter FILE NAME MIN
        check_bench_schema.py --min-speedup FILE MIN [METRIC]
+       check_bench_schema.py --min-ratio FILE_A FILE_B KEY MIN
        check_bench_schema.py --min-timeline FILE N
 
 Two file kinds are accepted:
@@ -30,6 +32,11 @@ kernels).  The app-bench smoke passes METRIC=speedup_batched_vs_scalar to
 gate the batched JPEG engine's floor against BENCH_apps.json.
 --min-timeline asserts the document's timeline holds at least N sampler
 snapshots — the CI smoke for --sample-hz actually sampling.
+--equal-metric compares a single metric KEY across two documents for exact
+equality — the serve smoke uses it to prove a warm pass's reply bytes match
+the cold pass's (metrics.reply_digest).  --min-ratio asserts
+metrics_B[KEY] / metrics_A[KEY] >= MIN — the serve smoke's warm-vs-cold
+request-rate floor.
 
 Exits non-zero (listing every problem) if any check fails, so CI catches a
 bench drifting off the unified schema the moment it happens.  Stdlib only.
@@ -68,6 +75,13 @@ EXPECTED_COUNTERS = [
     "dct_blocks_batched",
     "nn_macs_batched",
     "dsp_taps_batched",
+    "net_accepts",
+    "net_requests",
+    "net_bytes_in",
+    "net_bytes_out",
+    "net_frame_errors",
+    "net_backpressure_stalls",
+    "net_drained",
 ]
 
 EXPECTED_GAUGES = ["pool_workers", "pool_active_workers", "pool_queue_depth"]
@@ -237,6 +251,40 @@ def equal_metrics(path_a, path_b):
     return 0
 
 
+def equal_metric(path_a, path_b, key):
+    a, b = load(path_a).get("metrics"), load(path_b).get("metrics")
+    if not isinstance(a, dict) or not isinstance(b, dict):
+        print("FAIL --equal-metric: one document has no 'metrics' object")
+        return 1
+    if key not in a or key not in b:
+        print(f"FAIL --equal-metric: metric {key!r} missing from one document")
+        return 1
+    if a[key] != b[key]:
+        print(f"FAIL metric {key!r} differs: {a[key]!r} != {b[key]!r}")
+        return 1
+    print(f"ok   metric {key!r} identical in {path_a} and {path_b}: {a[key]!r}")
+    return 0
+
+
+def min_ratio(path_a, path_b, key, minimum):
+    a, b = load(path_a).get("metrics"), load(path_b).get("metrics")
+    va = a.get(key) if isinstance(a, dict) else None
+    vb = b.get(key) if isinstance(b, dict) else None
+    for path, v in ((path_a, va), (path_b, vb)):
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            print(f"FAIL {path}: metric {key!r} missing or not a number")
+            return 1
+    if va <= 0:
+        print(f"FAIL {path_a}: metric {key} = {va} is not positive")
+        return 1
+    ratio = vb / va
+    if ratio < minimum:
+        print(f"FAIL {key}: {path_b} / {path_a} = {ratio:.2f} < required {minimum}")
+        return 1
+    print(f"ok   {key}: {path_b} / {path_a} = {ratio:.2f} >= {minimum}")
+    return 0
+
+
 def min_speedup(path, minimum, metric="speedup_row_vs_generic"):
     metrics = load(path).get("metrics")
     value = metrics.get(metric) if isinstance(metrics, dict) else None
@@ -286,6 +334,18 @@ def main(argv):
                       file=sys.stderr)
                 return 2
             return equal_metrics(argv[2], argv[3])
+        if argv[1] == "--equal-metric":
+            if len(argv) != 5:
+                print("usage: check_bench_schema.py --equal-metric FILE_A FILE_B KEY",
+                      file=sys.stderr)
+                return 2
+            return equal_metric(argv[2], argv[3], argv[4])
+        if argv[1] == "--min-ratio":
+            if len(argv) != 6:
+                print("usage: check_bench_schema.py --min-ratio FILE_A FILE_B KEY MIN",
+                      file=sys.stderr)
+                return 2
+            return min_ratio(argv[2], argv[3], argv[4], float(argv[5]))
         if argv[1] == "--min-counter":
             if len(argv) != 5:
                 print("usage: check_bench_schema.py --min-counter FILE NAME MIN",

@@ -28,7 +28,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: realm_cli <characterize|predict|synth|verilog|sij|profile|"
-               "jpeg|divide|list> [args]\n");
+               "jpeg|divide|list|recommend> [args]\n");
   return 2;
 }
 
