@@ -6,7 +6,11 @@
 //     loopback port with a fresh campaign store, runs a COLD pass (every
 //     request computes and is durably recorded) and a WARM pass (identical
 //     requests; every reply comes from the store on the event loop), and
-//     asserts the two passes' reply bytes are identical.  Writes
+//     asserts the two passes' reply bytes are identical.  Between the two
+//     passes it polls the `stats` wire request twice and asserts the live
+//     SLO windows actually saw the load (net_requests >= requests and
+//     monotone, w60 count covers the cold pass, windowed p99 present).
+//     Writes
 //     bench_out/BENCH_serve.json with req/s, latency percentiles, and the
 //     warm-vs-cold speedup.  Exit 1 on any reply mismatch.
 //
@@ -31,7 +35,9 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -204,6 +210,83 @@ std::string digest_hex(std::uint64_t digest) {
   return std::string{hex};
 }
 
+/// One parsed `stats` snapshot from the in-process server.
+struct LiveStats {
+  campaign::PayloadReader reader;
+
+  explicit LiveStats(const std::string& body) : reader{body} {}
+
+  [[nodiscard]] double num(const std::string& name) const {
+    return std::strtod(reader.get_string(name).c_str(), nullptr);
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    for (const auto& [k, v] : reader.fields()) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+};
+
+[[nodiscard]] LiveStats poll_stats(int port) {
+  net::Client client;
+  client.connect_tcp(port);
+  const net::Frame reply = client.call(net::MsgType::kStats, 1, {});
+  if (reply.type != net::MsgType::kReplyOk) {
+    throw std::runtime_error("stats request failed");
+  }
+  return LiveStats{reply.body};
+}
+
+/// Live-stats assertion pass (runs between the cold and warm passes while
+/// the request counters are fresh in the w60 window): the stats request
+/// must reflect at least the cold pass's load, stay monotone between two
+/// polls, and publish windowed p99 latency for the hot request kind.
+[[nodiscard]] bool check_live_stats(obs::MetricsSink& sink, int port,
+                                    std::uint64_t requests) {
+  bool ok = true;
+  const LiveStats a = poll_stats(port);
+  const LiveStats b = poll_stats(port);
+
+  // net_requests counts every accepted frame, so after `requests` MC calls
+  // plus our own stats poll it must be at least requests + 1, and the
+  // second poll (one more stats frame in) must be strictly greater.
+  const double req_a = a.num("counter.net_requests");
+  const double req_b = b.num("counter.net_requests");
+  if (req_a < static_cast<double>(requests) + 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: stats counter.net_requests %.0f < %" PRIu64
+                 " requests sent\n",
+                 req_a, requests + 1);
+    ok = false;
+  }
+  if (req_b <= req_a) {
+    std::fprintf(stderr,
+                 "FAIL: stats counter.net_requests not monotone (%.0f -> %.0f)\n",
+                 req_a, req_b);
+    ok = false;
+  }
+
+  // The cold pass just finished, so the 60 s SLO window for the MC kind
+  // must hold every one of its requests and publish a latency estimate.
+  const double w60 = b.num("slo.characterize_mc.w60.count");
+  if (w60 < static_cast<double>(requests)) {
+    std::fprintf(stderr,
+                 "FAIL: slo.characterize_mc.w60.count %.0f < %" PRIu64 "\n",
+                 w60, requests);
+    ok = false;
+  }
+  if (!b.has("slo.characterize_mc.w60.p99_us")) {
+    std::fprintf(stderr, "FAIL: stats body is missing slo p99\n");
+    ok = false;
+  }
+
+  sink.metric("live_stats_net_requests", req_b);
+  sink.metric("live_stats_w60_count", w60);
+  sink.metric("live_stats_w60_p99_us", b.num("slo.characterize_mc.w60.p99_us"));
+  sink.metric("live_stats_ok", ok);
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -260,6 +343,7 @@ int main(int argc, char** argv) {
               store_path.c_str());
 
   const PassResult cold = run_pass(serve, port, "cold");
+  const bool live_ok = check_live_stats(sink, port, serve.requests);
   const PassResult warm = run_pass(serve, port, "warm");
 
   server.request_stop();
@@ -270,7 +354,7 @@ int main(int argc, char** argv) {
                              ? warm.requests_per_s / cold.requests_per_s
                              : 0.0;
 
-  bool ok = cold.errors == 0 && warm.errors == 0;
+  bool ok = cold.errors == 0 && warm.errors == 0 && live_ok;
   if (cold.digest != warm.digest) {
     std::fprintf(stderr, "FAIL: warm reply digest %s != cold %s\n",
                  digest_hex(warm.digest).c_str(), digest_hex(cold.digest).c_str());

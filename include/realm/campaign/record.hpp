@@ -79,6 +79,14 @@ class PayloadReader {
   [[nodiscard]] const std::string& get_string(std::string_view name) const;
   [[nodiscard]] bool has(std::string_view name) const;
 
+  /// Every parsed name/value pair in payload order.  Consumers with an open
+  /// field set (the `stats` reply carries a counter catalog whose names the
+  /// client should not hard-code) iterate instead of probing.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& fields()
+      const noexcept {
+    return fields_;
+  }
+
  private:
   [[nodiscard]] const std::string& raw(std::string_view name) const;
 

@@ -9,12 +9,24 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "realm/net/protocol.hpp"
 
 namespace realm::net {
+
+/// Thrown by recv_reply/call when the poll deadline passes with no complete
+/// reply frame.  A distinct type because callers treat it differently from a
+/// corrupt stream or a closed socket: the connection is still synchronized
+/// (no bytes were consumed past a frame boundary), so a load generator can
+/// count it and move on where a framing error must reconnect.  Each throw is
+/// counted under the net_client_timeouts counter.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what) : std::runtime_error{what} {}
+};
 
 class Client {
  public:
@@ -42,8 +54,9 @@ class Client {
   /// Writes arbitrary bytes — the test hook for malformed input.
   void send_raw(std::string_view bytes);
 
-  /// Blocks until one complete frame arrives; throws std::runtime_error on
-  /// timeout (timeout_ms > 0), EOF, or a socket error.
+  /// Blocks until one complete frame arrives; throws TimeoutError when
+  /// timeout_ms > 0 expires first, std::runtime_error on EOF or a socket
+  /// error.
   [[nodiscard]] Frame recv_reply(int timeout_ms = 10000);
 
   /// send_request + recv_reply; throws if the reply's seq is not `seq`.

@@ -63,10 +63,29 @@ enum class MsgType : std::uint32_t {
   kCharacterizeExhaustive = 4,  ///< spec,n,lo,hi -> ExhaustiveReport
   kSynthesisCost = 5,           ///< spec,n,cycles -> SynthesisResult
   kSijLookup = 6,               ///< m,q -> exact + quantized s_ij tables
+  kStats = 7,                   ///< empty body; reply: live introspection
+                                ///< snapshot (SLO windows, counters, gauges,
+                                ///< uptime).  Answered on the loop thread —
+                                ///< like ping, it never waits on the pool.
   // replies
   kReplyOk = 64,
   kReplyError = 65,
 };
+
+/// Stable snake_case name of a request kind — the key segment used by the
+/// `stats` reply's per-kind SLO fields (slo.<kind>.w<sec>.*) and by
+/// realm_top's table rows.  Returns "unknown" for reply types.
+[[nodiscard]] const char* request_kind_name(MsgType t) noexcept;
+
+/// Request kinds in wire order, for iterating the per-kind SLO catalog.
+inline constexpr MsgType kRequestKinds[] = {
+    MsgType::kPing,          MsgType::kMultiplyBatch,
+    MsgType::kCharacterizeMc, MsgType::kCharacterizeExhaustive,
+    MsgType::kSynthesisCost, MsgType::kSijLookup,
+    MsgType::kStats,
+};
+inline constexpr std::size_t kRequestKindCount =
+    sizeof(kRequestKinds) / sizeof(kRequestKinds[0]);
 
 /// Reply body of kReplyError: code (ErrorCode as u64) + message (string).
 enum class ErrorCode : std::uint64_t {

@@ -22,6 +22,13 @@
 //     so every cold answer is durably recorded and the reply bytes are the
 //     stored payload bytes (warm and cold replies are byte-identical by
 //     construction).
+//   * Introspection: every accepted frame gets a 64-bit request id that
+//     rides the trace context through validation, executor jobs and pool
+//     regions (one Chrome-trace lane per request), and every finished
+//     request is folded into per-kind rolling SLO windows (obs/slo_window).
+//     The kStats request returns those windows plus the counter/gauge
+//     catalog and is answered on the loop thread — like ping, it stays
+//     responsive while the executor and the pool are saturated.
 //
 // Flow control and robustness:
 //   * Per-connection write buffering with a high-water mark: a connection

@@ -62,6 +62,11 @@
 //                       write buffer crossed its high-water mark
 //   kNetDrained         in-flight requests flushed during graceful drain
 //                       (between SIGINT/SIGTERM and the event loop exiting)
+//   kNetClientTimeouts  client-side replies abandoned because recv_reply hit
+//                       its poll deadline (thrown as net::TimeoutError)
+//   kSloRecords         finished requests folded into an SLO window bucket
+//   kSloRotations       SLO buckets recycled to a new second (claim/publish
+//                       rotations won; at most one per second per window)
 
 #pragma once
 
@@ -106,6 +111,9 @@ enum class Counter : unsigned {
   kNetFrameErrors,
   kNetBackpressureStalls,
   kNetDrained,
+  kNetClientTimeouts,
+  kSloRecords,
+  kSloRotations,
   kCount
 };
 

@@ -53,6 +53,11 @@ class Sampler {
 /// REALM_SAMPLE_HZ parsed as a positive number; 0 when unset/invalid.
 [[nodiscard]] double sampler_env_hz() noexcept;
 
+/// Resident set size of this process in KiB (0 where unsupported).  The
+/// sampler's timeline column uses this; the serving layer's `stats` reply
+/// reads it directly so a monitor sees RSS without the sampler running.
+[[nodiscard]] std::uint64_t read_rss_kb() noexcept;
+
 /// Copy of the timeline captured so far (stop the sampler first for a
 /// complete, race-free view).  Bounded: after 65536 samples the sampler
 /// stops appending (and keeps counting drops).

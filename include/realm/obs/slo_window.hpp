@@ -1,0 +1,121 @@
+// Rolling SLO windows: lock-free rings of fixed one-second buckets.
+//
+// Counters answer "how much since process start"; the serving layer also
+// needs "how is the last 10/60/300 seconds going" — windowed request rate,
+// error rate, warm-hit ratio and latency percentiles that a live monitor
+// can poll without stopping the process.  A SloWindow is a power-of-two
+// ring of one-second buckets, each aggregating count / errors / warm hits /
+// bytes plus a log2 latency histogram (histogram.hpp is the shared merge
+// currency, so windowed p50/p95/p99 come from the same arithmetic as the
+// bench spans).
+//
+// Concurrency model:
+//   * record() is wait-free in the steady state: the writer locates the
+//     bucket for the current second (ring index = second & mask), checks
+//     its epoch stamp, and bumps relaxed atomics.
+//   * Bucket rotation (the first record of a new second reusing a slot) is
+//     a claim/publish pair: one writer CASes the claim stamp, zeroes the
+//     bucket, then release-publishes the epoch; concurrent writers for the
+//     same second spin (bounded, typically one load) until the epoch
+//     appears.  Rotation happens at most once per second per request type,
+//     so the spin is never on a hot path.
+//   * Readers (snapshot_at) walk the window's seconds, acquire-load each
+//     bucket's epoch, and merge only buckets stamped inside the window —
+//     buckets idle for longer than the ring length are skipped by the
+//     stamp check, so wrap-around after silence cannot resurrect stale
+//     traffic.
+//
+// Every entry point takes an explicit now_ns (the obs::now_ns() clock) so
+// rotation, idle gaps and wrap-around are deterministic under test; the
+// convenience overloads sample the clock themselves.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "realm/obs/histogram.hpp"
+
+namespace realm::obs {
+
+/// Ring length in seconds; must be a power of two strictly greater than the
+/// largest window ever asked for (300 s).
+inline constexpr unsigned kSloRingSeconds = 512;
+
+/// The windows the serving layer reports (seconds).
+inline constexpr std::array<unsigned, 3> kSloWindowsSeconds{10, 60, 300};
+
+/// Merged view of one window (or one bucket).  Plain data; NaN-free by
+/// construction — the ratio helpers return 0 for empty windows.
+struct SloSnapshot {
+  std::uint64_t count = 0;      ///< requests recorded
+  std::uint64_t errors = 0;     ///< requests answered with an error reply
+  std::uint64_t warm_hits = 0;  ///< requests answered from the store
+  std::uint64_t bytes = 0;      ///< reply bytes
+  HistogramSnapshot latency;    ///< request latency, nanoseconds
+
+  [[nodiscard]] double error_rate() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(errors) / static_cast<double>(count);
+  }
+  [[nodiscard]] double warm_ratio() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(warm_hits) / static_cast<double>(count);
+  }
+  /// Requests per second over a window of `window_s` seconds (0 for 0).
+  [[nodiscard]] double rate(unsigned window_s) const noexcept {
+    return window_s == 0 ? 0.0
+                         : static_cast<double>(count) / static_cast<double>(window_s);
+  }
+};
+
+class SloWindow {
+ public:
+  SloWindow();
+
+  SloWindow(const SloWindow&) = delete;
+  SloWindow& operator=(const SloWindow&) = delete;
+
+  /// Records one finished request into the bucket holding `now_ns`.
+  /// Concurrent callers are safe; a record with a stamp older than the
+  /// bucket's current second (cross-thread clock skew) is dropped rather
+  /// than corrupting a newer bucket.
+  void record_at(std::uint64_t now_ns, std::uint64_t latency_ns,
+                 std::uint64_t bytes, bool error, bool warm) noexcept;
+
+  /// record_at(obs::now_ns(), ...).
+  void record(std::uint64_t latency_ns, std::uint64_t bytes, bool error,
+              bool warm) noexcept;
+
+  /// Merges the buckets of the last `window_s` seconds ending at `now_ns`
+  /// (the current partial second included).  `window_s` is clamped to the
+  /// ring length - 1.
+  [[nodiscard]] SloSnapshot snapshot_at(std::uint64_t now_ns,
+                                        unsigned window_s) const noexcept;
+
+  /// snapshot_at(obs::now_ns(), window_s).
+  [[nodiscard]] SloSnapshot snapshot(unsigned window_s) const noexcept;
+
+ private:
+  struct Bucket {
+    std::atomic<std::uint64_t> epoch{kEmptyEpoch};  ///< second stamp, published
+    std::atomic<std::uint64_t> claim{kEmptyEpoch};  ///< rotation ticket
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> warm_hits{0};
+    std::atomic<std::uint64_t> bytes{0};
+    AtomicHistogram latency;
+  };
+
+  static constexpr std::uint64_t kEmptyEpoch = ~std::uint64_t{0};
+
+  /// Rotates `b` to second `sec` (claim, zero, publish) or waits for the
+  /// concurrent winner to publish.  Returns false if the bucket already
+  /// belongs to a *newer* second (the stale-record drop case).
+  static bool rotate(Bucket& b, std::uint64_t sec) noexcept;
+
+  std::vector<Bucket> ring_;  // kSloRingSeconds buckets, heap-allocated
+};
+
+}  // namespace realm::obs

@@ -40,6 +40,7 @@ namespace realm::obs {
 namespace detail {
 
 extern std::atomic<bool> g_trace_enabled;
+extern thread_local std::uint64_t g_trace_rid;
 
 /// Appends one finished span to the calling thread's ring buffer.
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
@@ -60,9 +61,36 @@ void set_tracing(bool on) noexcept;
 /// output path; returns nullptr otherwise.
 [[nodiscard]] const char* trace_env_path() noexcept;
 
+/// The request id spans recorded by this thread are attributed to (0 = no
+/// request in scope).  Set via ScopedTraceContext; the serving layer assigns
+/// one id per accepted request frame and propagates it across the executor
+/// and thread-pool hops so a Chrome trace shows one coherent lane per
+/// request instead of anonymous pool spans.
+[[nodiscard]] inline std::uint64_t current_trace_rid() noexcept {
+  return detail::g_trace_rid;
+}
+
+/// RAII trace context: installs a request id on this thread for the scope's
+/// lifetime and restores the previous one on exit.  Two thread-local writes
+/// when tracing is off — cheap enough for per-request (not per-sample) use.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::uint64_t rid) noexcept
+      : prev_{detail::g_trace_rid} {
+    detail::g_trace_rid = rid;
+  }
+  ~ScopedTraceContext() { detail::g_trace_rid = prev_; }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
 /// RAII span: timestamps are taken only if tracing was enabled at entry, and
 /// a span in flight when tracing is disabled still completes (so exports see
-/// no half-open scopes).
+/// no half-open scopes).  The thread's current trace context (request id) at
+/// destruction time is recorded with the span.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) noexcept {

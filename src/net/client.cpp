@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "realm/obs/counters.hpp"
+
 namespace realm::net {
 
 namespace {
@@ -105,7 +107,11 @@ Frame Client::recv_reply(int timeout_ms) {
     if (timeout_ms > 0) {
       pollfd p{fd_, POLLIN, 0};
       const int r = ::poll(&p, 1, timeout_ms);
-      if (r == 0) throw std::runtime_error("net: reply timed out");
+      if (r == 0) {
+        obs::counter_add(obs::Counter::kNetClientTimeouts, 1);
+        throw TimeoutError{"net: reply timed out after " +
+                           std::to_string(timeout_ms) + " ms"};
+      }
       if (r < 0 && errno != EINTR) throw std::runtime_error(errno_message("poll"));
       if (r < 0) continue;
     }

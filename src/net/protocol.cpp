@@ -53,6 +53,21 @@ void put_le64(std::string& out, std::uint64_t v) {
 
 }  // namespace
 
+const char* request_kind_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kMultiplyBatch: return "multiply_batch";
+    case MsgType::kCharacterizeMc: return "characterize_mc";
+    case MsgType::kCharacterizeExhaustive: return "characterize_exhaustive";
+    case MsgType::kSynthesisCost: return "synthesis_cost";
+    case MsgType::kSijLookup: return "sij_lookup";
+    case MsgType::kStats: return "stats";
+    case MsgType::kReplyOk:
+    case MsgType::kReplyError: break;
+  }
+  return "unknown";
+}
+
 const char* error_code_name(ErrorCode c) noexcept {
   switch (c) {
     case ErrorCode::kBadMagic: return "bad_magic";

@@ -11,6 +11,7 @@
 #include <sys/epoll.h>
 #endif
 
+#include <array>
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
@@ -34,6 +35,8 @@
 #include "realm/multipliers/registry.hpp"
 #include "realm/net/protocol.hpp"
 #include "realm/obs/counters.hpp"
+#include "realm/obs/sampler.hpp"
+#include "realm/obs/slo_window.hpp"
 #include "realm/obs/trace.hpp"
 
 namespace realm::net {
@@ -252,11 +255,21 @@ struct Request {
       break;
     }
     case MsgType::kPing:
+    case MsgType::kStats:
       break;
     default:
       throw std::runtime_error("not a request type");
   }
   return rq;
+}
+
+/// Index of a request kind in kRequestKinds (the per-kind SLO window slot).
+/// Callers must pass a request type (is_request_type-checked).
+[[nodiscard]] constexpr std::size_t kind_index(MsgType t) noexcept {
+  for (std::size_t i = 0; i < kRequestKindCount; ++i) {
+    if (kRequestKinds[i] == t) return i;
+  }
+  return 0;
 }
 
 [[nodiscard]] hw::StimulusProfile synthesis_profile(std::uint32_t cycles,
@@ -330,14 +343,36 @@ struct Server::Impl {
   /// shutdown forever.
   static constexpr std::uint64_t kDrainTimeoutNs = 30ull * 1000 * 1000 * 1000;
 
+  // -- introspection --------------------------------------------------------
+  // Request ids are loop-thread-only state (like conn ids); the executor and
+  // the pool see them read-only through Job/ScopedTraceContext.
+  std::uint64_t next_request_id = 1;
+  std::uint64_t serve_start_ns = 0;  ///< set in start(); uptime zero point
+  std::array<obs::SloWindow, kRequestKindCount> slo;
+
+  /// Folds one finished request into its kind's SLO ring; `t0` is the
+  /// loop-thread timestamp taken when the frame was decoded, so dispatched
+  /// requests measure queue + compute + completion, not just compute.
+  void record_slo(std::size_t kind, std::uint64_t t0, std::uint64_t bytes,
+                  bool error, bool warm) noexcept {
+    const std::uint64_t now = obs::now_ns();
+    slo[kind].record_at(now, now - t0, bytes, error, warm);
+  }
+
   // -- executor ------------------------------------------------------------
   struct Job {
     std::uint64_t conn_id = 0;
     Request rq;
+    std::uint64_t rid = 0;       ///< request id, for trace-context adoption
+    std::uint64_t start_ns = 0;  ///< loop-thread decode time (SLO latency t0)
   };
   struct Completion {
     std::uint64_t conn_id = 0;
     std::string bytes;
+    std::uint64_t rid = 0;
+    MsgType kind = MsgType::kPing;
+    std::uint64_t start_ns = 0;
+    bool error = false;  ///< reply is a kReplyError frame
   };
   std::vector<std::thread> executors;
   std::deque<Job> job_queue;
@@ -367,6 +402,7 @@ struct Server::Impl {
   void start() {
     if (started) throw std::runtime_error("net: Server::start() called twice");
     started = true;
+    serve_start_ns = obs::now_ns();
     poller = make_poller(opts.force_poll);
 
     int pfds[2];
@@ -586,30 +622,52 @@ struct Server::Impl {
   [[nodiscard]] static bool is_request_type(MsgType t) noexcept {
     const auto v = static_cast<std::uint32_t>(t);
     return v >= static_cast<std::uint32_t>(MsgType::kPing) &&
-           v <= static_cast<std::uint32_t>(MsgType::kSijLookup);
+           v <= static_cast<std::uint32_t>(MsgType::kStats);
   }
 
   void handle_request(Conn* c, const Frame& f) {
+    // One id per accepted frame, installed before any span opens: ScopedSpan
+    // stamps the thread's trace context at destruction, so every span below
+    // — and every executor/pool span that adopts the id through Job and
+    // ThreadPool — lands in the same per-request Chrome-trace lane.
+    const std::uint64_t rid = next_request_id++;
+    const std::uint64_t t0 = obs::now_ns();
+    obs::ScopedTraceContext trace_ctx{rid};
     REALM_TRACE_SCOPE("net/request");
     if (!is_request_type(f.type)) {
       send_error(c, f.seq, ErrorCode::kUnknownType, "not a request type");
       return;
     }
+    const std::size_t kind = kind_index(f.type);
     if (draining) {
       send_error(c, f.seq, ErrorCode::kShuttingDown, "server is draining");
+      record_slo(kind, t0, 0, /*error=*/true, /*warm=*/false);
       return;
     }
     Request rq;
     try {
+      REALM_TRACE_SCOPE("net/validate");
       rq = parse_request(f.type, f.seq, f.body);
     } catch (const std::exception& e) {
       send_error(c, f.seq, ErrorCode::kBadRequest, e.what());
+      record_slo(kind, t0, 0, /*error=*/true, /*warm=*/false);
       return;
     }
     obs::counter_add(obs::Counter::kNetRequests, 1);
     st.requests.fetch_add(1, std::memory_order_relaxed);
     if (rq.type == MsgType::kPing) {
-      queue_reply(c, encode_frame(MsgType::kReplyOk, rq.seq, {}));
+      std::string reply = encode_frame(MsgType::kReplyOk, rq.seq, {});
+      record_slo(kind, t0, reply.size(), /*error=*/false, /*warm=*/false);
+      queue_reply(c, std::move(reply));
+      return;
+    }
+    if (rq.type == MsgType::kStats) {
+      // Introspection is answered here, like ping: a monitor must get its
+      // snapshot even when the executor queue and the compute pool are
+      // saturated with multi-second characterization jobs.
+      std::string reply = encode_frame(MsgType::kReplyOk, rq.seq, stats_body());
+      record_slo(kind, t0, reply.size(), /*error=*/false, /*warm=*/false);
+      queue_reply(c, std::move(reply));
       return;
     }
     // Warm fast path: answer cacheable requests from the journal index on
@@ -623,7 +681,9 @@ struct Server::Impl {
         REALM_TRACE_SCOPE("net/warm_hit");
         if (const auto payload = runner->store().get(key)) {
           st.warm_hits.fetch_add(1, std::memory_order_relaxed);
-          queue_reply(c, encode_frame(MsgType::kReplyOk, rq.seq, *payload));
+          std::string reply = encode_frame(MsgType::kReplyOk, rq.seq, *payload);
+          record_slo(kind, t0, reply.size(), /*error=*/false, /*warm=*/true);
+          queue_reply(c, std::move(reply));
           return;
         }
       }
@@ -633,9 +693,58 @@ struct Server::Impl {
     st.dispatched.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard lock{job_mu};
-      job_queue.push_back(Job{c->id, std::move(rq)});
+      job_queue.push_back(Job{c->id, std::move(rq), rid, t0});
     }
     job_cv.notify_one();
+  }
+
+  /// The `stats` reply body: one flat name=value catalog a poller renders
+  /// or scrapes without any schema negotiation.  Reads only loop-thread
+  /// state, atomics and the SLO rings — the single lock taken (job_mu, for
+  /// the queue depth) is held for one size() call.
+  [[nodiscard]] std::string stats_body() {
+    const std::uint64_t now = obs::now_ns();
+    campaign::PayloadWriter w;
+    w.field("proto", static_cast<std::uint64_t>(kNetProtocolVersion));
+    w.field("uptime_s", static_cast<double>(now - serve_start_ns) / 1e9);
+    w.field("rss_kb", obs::read_rss_kb());
+    w.field("connections", static_cast<std::uint64_t>(conns.size()));
+    std::uint64_t depth = 0;
+    {
+      std::lock_guard lock{job_mu};
+      depth = job_queue.size();
+    }
+    w.field("queue_depth", depth);
+    w.field("jobs_in_flight", jobs_in_flight.load(std::memory_order_relaxed));
+    for (unsigned i = 0; i < obs::kCounterCount; ++i) {
+      const auto c = static_cast<obs::Counter>(i);
+      w.field(std::string{"counter."} + obs::counter_name(c),
+              obs::counter_value(c));
+    }
+    for (unsigned i = 0; i < obs::kGaugeCount; ++i) {
+      const auto g = static_cast<obs::Gauge>(i);
+      w.field(std::string{"gauge."} + obs::gauge_name(g), obs::gauge_value(g));
+    }
+    // Fixed per-kind × per-window catalog: every field is always present
+    // (zero/0.0 when idle), so consumers never probe for optional keys.
+    for (std::size_t k = 0; k < kRequestKindCount; ++k) {
+      const std::string kind_prefix =
+          std::string{"slo."} + request_kind_name(kRequestKinds[k]) + ".w";
+      for (const unsigned wsec : obs::kSloWindowsSeconds) {
+        const obs::SloSnapshot s = slo[k].snapshot_at(now, wsec);
+        const std::string p = kind_prefix + std::to_string(wsec) + ".";
+        w.field(p + "count", s.count);
+        w.field(p + "errors", s.errors);
+        w.field(p + "warm_hits", s.warm_hits);
+        w.field(p + "bytes", s.bytes);
+        w.field(p + "p50_us", static_cast<double>(s.latency.percentile(0.50)) / 1e3);
+        w.field(p + "p95_us", static_cast<double>(s.latency.percentile(0.95)) / 1e3);
+        w.field(p + "p99_us", static_cast<double>(s.latency.percentile(0.99)) / 1e3);
+        w.field(p + "err_pct", s.error_rate() * 100.0);
+        w.field(p + "warm_pct", s.warm_ratio() * 100.0);
+      }
+    }
+    return w.str();
   }
 
   void send_error(Conn* c, std::uint64_t seq, ErrorCode code, const char* msg) {
@@ -718,6 +827,12 @@ struct Server::Impl {
     }
     for (Completion& done : batch) {
       jobs_in_flight.fetch_sub(1, std::memory_order_relaxed);
+      // The reply leg runs under the request's trace context so the
+      // accept→validate→execute→reply chain shares one id end to end.
+      obs::ScopedTraceContext trace_ctx{done.rid};
+      REALM_TRACE_SCOPE("net/reply");
+      record_slo(kind_index(done.kind), done.start_ns, done.bytes.size(),
+                 done.error, /*warm=*/false);
       auto it = conn_by_id.find(done.conn_id);
       if (it == conn_by_id.end()) {
         // The client vanished mid-request (kill-mid-request path): the
@@ -800,22 +915,30 @@ struct Server::Impl {
         job = std::move(job_queue.front());
         job_queue.pop_front();
       }
+      // Adopt the request's trace context for the whole compute: the
+      // engines below fan onto the process-wide ThreadPool, whose helpers
+      // re-adopt it per region, so pool/task spans inherit the id too.
+      obs::ScopedTraceContext trace_ctx{job.rid};
       REALM_TRACE_SCOPE("net/job");
       std::string reply;
+      bool error = false;
       try {
         reply = encode_frame(MsgType::kReplyOk, job.rq.seq, compute_body(job.rq));
       } catch (const std::invalid_argument& e) {
         obs::counter_add(obs::Counter::kNetFrameErrors, 1);
         st.frame_errors.fetch_add(1, std::memory_order_relaxed);
         reply = encode_error(job.rq.seq, ErrorCode::kBadRequest, e.what());
+        error = true;
       } catch (const std::exception& e) {
         obs::counter_add(obs::Counter::kNetFrameErrors, 1);
         st.frame_errors.fetch_add(1, std::memory_order_relaxed);
         reply = encode_error(job.rq.seq, ErrorCode::kInternal, e.what());
+        error = true;
       }
       {
         std::lock_guard lock{completion_mu};
-        completions.push_back(Completion{job.conn_id, std::move(reply)});
+        completions.push_back(Completion{job.conn_id, std::move(reply), job.rid,
+                                         job.rq.type, job.start_ns, error});
       }
       wake_loop();
     }

@@ -62,6 +62,7 @@ struct ThreadPool::Impl {
   std::atomic<std::size_t> cursor{0};
   unsigned active = 0;
   std::uint64_t region_start_ns = 0;  // publish time, for queue-wait telemetry
+  std::uint64_t region_trace_rid = 0;  // caller's request id, adopted by helpers
   std::exception_ptr first_error;
   bool stop = false;
 
@@ -83,8 +84,14 @@ struct ThreadPool::Impl {
       const std::uint64_t wait_ns = obs::now_ns() - region_start_ns;
       obs::counter_add(obs::Counter::kPoolQueueWaitNs, wait_ns);
       obs::value_hist_record(obs::ValueHist::kPoolQueueWaitNs, wait_ns);
+      const std::uint64_t rid = region_trace_rid;  // stable while m is held
       lock.unlock();
-      drain();
+      {
+        // Helpers adopt the publishing caller's trace context so pool/task
+        // spans inside a served request carry its request id.
+        obs::ScopedTraceContext ctx{rid};
+        drain();
+      }
       lock.lock();
       --active;
       obs::gauge_set(obs::Gauge::kPoolActiveWorkers, active);
@@ -185,6 +192,7 @@ void ThreadPool::run(std::size_t count, unsigned parallelism,
     const auto max_helpers = static_cast<unsigned>(impl_->threads.size());
     impl_->helpers_wanted = std::min(parallelism - 1, max_helpers);
     impl_->region_start_ns = obs::now_ns();
+    impl_->region_trace_rid = obs::current_trace_rid();
     ++impl_->generation;
   }
   impl_->work_ready.notify_all();

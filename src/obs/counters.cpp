@@ -50,6 +50,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kNetFrameErrors: return "net_frame_errors";
     case Counter::kNetBackpressureStalls: return "net_backpressure_stalls";
     case Counter::kNetDrained: return "net_drained";
+    case Counter::kNetClientTimeouts: return "net_client_timeouts";
+    case Counter::kSloRecords: return "slo_records";
+    case Counter::kSloRotations: return "slo_rotations";
     case Counter::kCount: break;
   }
   return "unknown";

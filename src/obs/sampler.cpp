@@ -37,6 +37,8 @@ SamplerState& state() {
   return *s;
 }
 
+}  // namespace
+
 // Resident set size from /proc/self/statm (field 2, in pages).  Returns 0 on
 // platforms without procfs — the timeline column is then uniformly zero.
 std::uint64_t read_rss_kb() noexcept {
@@ -54,6 +56,8 @@ std::uint64_t read_rss_kb() noexcept {
   return 0;
 #endif
 }
+
+namespace {
 
 // Captures one sample; caller holds state().m (the timeline and the
 // last-counters baseline are sampler-thread + control-thread shared).

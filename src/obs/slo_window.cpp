@@ -1,0 +1,101 @@
+#include "realm/obs/slo_window.hpp"
+
+#include "realm/obs/counters.hpp"
+#include "realm/obs/trace.hpp"
+
+namespace realm::obs {
+
+namespace {
+
+constexpr std::uint64_t kNsPerSec = 1'000'000'000ull;
+
+static_assert((kSloRingSeconds & (kSloRingSeconds - 1)) == 0,
+              "ring length must be a power of two (index = second & mask)");
+static_assert(kSloRingSeconds > kSloWindowsSeconds.back() + 1,
+              "ring must out-span the largest reported window plus the "
+              "current partial second");
+
+}  // namespace
+
+SloWindow::SloWindow() : ring_(kSloRingSeconds) {}
+
+bool SloWindow::rotate(Bucket& b, std::uint64_t sec) noexcept {
+  // Ticket: the first writer of second `sec` to move `claim` forward owns
+  // the reset; everyone else waits for the matching epoch publish.  claim
+  // only ever moves forward, so a stale second can never un-reset a bucket.
+  std::uint64_t claimed = b.claim.load(std::memory_order_relaxed);
+  for (;;) {
+    if (claimed != kEmptyEpoch && claimed >= sec) break;  // someone newer owns it
+    if (b.claim.compare_exchange_weak(claimed, sec, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      b.count.store(0, std::memory_order_relaxed);
+      b.errors.store(0, std::memory_order_relaxed);
+      b.warm_hits.store(0, std::memory_order_relaxed);
+      b.bytes.store(0, std::memory_order_relaxed);
+      b.latency.reset();
+      b.epoch.store(sec, std::memory_order_release);
+      counter_add(Counter::kSloRotations, 1);
+      return true;
+    }
+  }
+  // Lost the ticket.  If the winner is rotating to our second, spin for the
+  // publish (sub-microsecond: the winner only zeroes a cache line or two).
+  // If the bucket already belongs to a newer second our record is stale —
+  // drop it rather than pollute the newer bucket.
+  if (claimed != sec) return false;
+  while (b.epoch.load(std::memory_order_acquire) != sec) {
+  }
+  return true;
+}
+
+void SloWindow::record_at(std::uint64_t now_ns, std::uint64_t latency_ns,
+                          std::uint64_t bytes, bool error, bool warm) noexcept {
+  const std::uint64_t sec = now_ns / kNsPerSec;
+  Bucket& b = ring_[static_cast<std::size_t>(sec & (kSloRingSeconds - 1))];
+  const std::uint64_t epoch = b.epoch.load(std::memory_order_acquire);
+  if (epoch != sec) {
+    if (epoch != kEmptyEpoch && epoch > sec) return;  // bucket moved on; drop
+    if (!rotate(b, sec)) return;
+  }
+  b.count.fetch_add(1, std::memory_order_relaxed);
+  if (error) b.errors.fetch_add(1, std::memory_order_relaxed);
+  if (warm) b.warm_hits.fetch_add(1, std::memory_order_relaxed);
+  b.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  b.latency.record(latency_ns);
+  counter_add(Counter::kSloRecords, 1);
+}
+
+void SloWindow::record(std::uint64_t latency_ns, std::uint64_t bytes, bool error,
+                       bool warm) noexcept {
+  record_at(now_ns(), latency_ns, bytes, error, warm);
+}
+
+SloSnapshot SloWindow::snapshot_at(std::uint64_t now_ns,
+                                   unsigned window_s) const noexcept {
+  SloSnapshot out;
+  if (window_s == 0) return out;
+  if (window_s >= kSloRingSeconds) window_s = kSloRingSeconds - 1;
+  const std::uint64_t now_sec = now_ns / kNsPerSec;
+  // Window [now_sec - window_s + 1, now_sec]: the current partial second
+  // plus the window_s - 1 full seconds before it.
+  const std::uint64_t first =
+      now_sec >= window_s - 1 ? now_sec - (window_s - 1) : 0;
+  for (std::uint64_t sec = first; sec <= now_sec; ++sec) {
+    const Bucket& b = ring_[static_cast<std::size_t>(sec & (kSloRingSeconds - 1))];
+    // The epoch stamp filters both never-used buckets and buckets last
+    // written > ring-length seconds ago (their stamp names an older second).
+    if (b.epoch.load(std::memory_order_acquire) != sec) continue;
+    out.count += b.count.load(std::memory_order_relaxed);
+    out.errors += b.errors.load(std::memory_order_relaxed);
+    out.warm_hits += b.warm_hits.load(std::memory_order_relaxed);
+    out.bytes += b.bytes.load(std::memory_order_relaxed);
+    out.latency.merge(b.latency.snapshot());
+  }
+  return out;
+}
+
+SloSnapshot SloWindow::snapshot(unsigned window_s) const noexcept {
+  return snapshot_at(now_ns(), window_s);
+}
+
+}  // namespace realm::obs

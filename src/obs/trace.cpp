@@ -40,6 +40,7 @@ struct Slot {
   std::atomic<const char*> name{nullptr};
   std::atomic<std::uint64_t> start_ns{0};
   std::atomic<std::uint64_t> dur_ns{0};
+  std::atomic<std::uint64_t> rid{0};  // request id; 0 = no request context
 };
 
 /// Distinct span names one thread can histogram.  The whole library uses
@@ -118,6 +119,7 @@ struct ExportEvent {
   std::uint64_t start_ns;
   std::uint64_t dur_ns;
   std::uint32_t tid;
+  std::uint64_t rid;
 };
 
 // Every span still resident in some ring, in (tid, slot) order.
@@ -132,7 +134,8 @@ std::vector<ExportEvent> collect_events() {
       const char* name = s.name.load(std::memory_order_relaxed);
       if (name == nullptr) continue;  // slot zeroed by a concurrent reset
       out.push_back({name, s.start_ns.load(std::memory_order_relaxed),
-                     s.dur_ns.load(std::memory_order_relaxed), b->tid});
+                     s.dur_ns.load(std::memory_order_relaxed), b->tid,
+                     s.rid.load(std::memory_order_relaxed)});
     }
   }
   return out;
@@ -149,6 +152,7 @@ void append_double(std::string& out, double v) {
 namespace detail {
 
 std::atomic<bool> g_trace_enabled{env_tracing_on()};
+thread_local std::uint64_t g_trace_rid = 0;
 
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns) {
   ThreadBuffer& b = local_buffer();
@@ -158,6 +162,7 @@ void record_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns)
   s.name.store(name, std::memory_order_relaxed);
   s.start_ns.store(start_ns, std::memory_order_relaxed);
   s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  s.rid.store(g_trace_rid, std::memory_order_relaxed);
   b.head.store(h + 1, std::memory_order_release);
 }
 
@@ -254,6 +259,13 @@ std::string chrome_trace_json() {
     append_double(out, static_cast<double>(e.dur_ns) / 1000.0);
     out += ",\"pid\":1,\"tid\":";
     out += std::to_string(e.tid);
+    if (e.rid != 0) {
+      // Request lane: Perfetto's "args.rid" query/filter groups every span
+      // of one served request across loop, executor and pool threads.
+      out += ",\"args\":{\"rid\":";
+      out += std::to_string(e.rid);
+      out += '}';
+    }
     out += '}';
   }
 

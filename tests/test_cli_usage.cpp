@@ -1,0 +1,73 @@
+// realm_cli's verb catalog: the dispatcher and the usage text render from
+// one table (tools/realm_cli_commands.hpp), and this test pins the
+// invariants that make the table trustworthy — unique verb names, every
+// verb present in the usage text exactly once, and a synopsis line per verb
+// that actually carries its help string.  PR 8 shipped a usage line missing
+// the `recommend` verb; with the shared table plus this test, that class of
+// drift fails CI instead of reaching users.
+
+#include "../tools/realm_cli_commands.hpp"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using realm::cli::CommandSpec;
+using realm::cli::kCommandCount;
+using realm::cli::kCommands;
+
+/// Occurrences of `needle` in `hay` (non-overlapping).
+[[nodiscard]] std::size_t count_occurrences(const std::string& hay,
+                                            const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(CliUsage, TableHasNoDuplicateVerbs) {
+  std::set<std::string> names;
+  for (const CommandSpec& c : kCommands) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate verb: " << c.name;
+    EXPECT_NE(c.name[0], '\0') << "empty verb name";
+  }
+  EXPECT_EQ(names.size(), kCommandCount);
+}
+
+TEST(CliUsage, EveryVerbAppearsInUsageExactlyOnce) {
+  const std::string usage = realm::cli::usage_text();
+  for (const CommandSpec& c : kCommands) {
+    // The dispatch row is rendered as "realm_cli <verb>" (either a column
+    // of spaces or the argument synopsis follows), so this anchors on the
+    // verb as a word, not as a substring of another verb.
+    const std::string row = std::string{"realm_cli "} + c.name + " ";
+    EXPECT_EQ(count_occurrences(usage, row), 1u)
+        << "verb " << c.name << " is not rendered exactly once:\n"
+        << usage;
+  }
+}
+
+TEST(CliUsage, EveryHelpLineIsRendered) {
+  const std::string usage = realm::cli::usage_text();
+  for (const CommandSpec& c : kCommands) {
+    EXPECT_NE(usage.find(c.help), std::string::npos)
+        << "help text for " << c.name << " missing from usage";
+  }
+}
+
+TEST(CliUsage, SynopsisListsEveryVerb) {
+  const std::string alternatives = realm::cli::command_alternatives();
+  std::size_t bars = 0;
+  for (const char ch : alternatives) bars += ch == '|' ? 1 : 0;
+  EXPECT_EQ(bars, kCommandCount - 1);
+  for (const CommandSpec& c : kCommands) {
+    EXPECT_NE(alternatives.find(c.name), std::string::npos) << c.name;
+  }
+}
+
+}  // namespace

@@ -32,6 +32,8 @@
 #include "realm/net/client.hpp"
 #include "realm/net/server.hpp"
 #include "realm/obs/counters.hpp"
+#include "realm/obs/slo_window.hpp"
+#include "realm/obs/trace.hpp"
 
 namespace fs = std::filesystem;
 using namespace realm;
@@ -630,4 +632,175 @@ TEST(NetServer, ManyConcurrentClients) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GE(ts.server().stats().accepted, static_cast<std::uint64_t>(kClients));
+}
+
+// -- introspection ----------------------------------------------------------
+
+namespace {
+
+/// Does `body` (a stats payload) carry a field named `name`?
+[[nodiscard]] bool has_field(const campaign::PayloadReader& r,
+                             const std::string& name) {
+  for (const auto& [k, v] : r.fields()) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(NetServer, StatsCarriesFullCatalogAndSloWindows) {
+  TestServer ts{net::ServerOptions{}};
+  net::Client c;
+  c.connect_tcp(ts.port());
+  ASSERT_EQ(c.call(MsgType::kPing, 1, {}).type, MsgType::kReplyOk);
+
+  const Frame r = c.call(MsgType::kStats, 2, {});
+  ASSERT_EQ(r.type, MsgType::kReplyOk);
+  const campaign::PayloadReader body{r.body};
+
+  EXPECT_EQ(body.get_i64("proto"), 1);
+  EXPECT_GE(body.get_double("uptime_s"), 0.0);
+  EXPECT_TRUE(has_field(body, "rss_kb"));
+  EXPECT_EQ(body.get_u64("connections"), 1u);
+  EXPECT_TRUE(has_field(body, "queue_depth"));
+  EXPECT_TRUE(has_field(body, "jobs_in_flight"));
+
+  // The full counter catalog rides along, by catalog name.
+  for (std::size_t i = 0; i < static_cast<std::size_t>(obs::Counter::kCount);
+       ++i) {
+    const std::string key =
+        std::string{"counter."} + obs::counter_name(static_cast<obs::Counter>(i));
+    EXPECT_TRUE(has_field(body, key)) << key;
+  }
+  // Both frames so far are counted (the stats frame is a request too).
+  EXPECT_GE(body.get_u64("counter.net_requests"), 2u);
+
+  // Fixed SLO schema: every request kind x every window x every column,
+  // present even when the window is empty.
+  for (const MsgType kind : net::kRequestKinds) {
+    for (const unsigned w : obs::kSloWindowsSeconds) {
+      const std::string p = std::string{"slo."} + net::request_kind_name(kind) +
+                            ".w" + std::to_string(w) + ".";
+      for (const char* col : {"count", "errors", "warm_hits", "bytes", "p50_us",
+                              "p95_us", "p99_us", "err_pct", "warm_pct"}) {
+        EXPECT_TRUE(has_field(body, p + col)) << p + col;
+      }
+    }
+  }
+  // The ping we sent is visible in its own 10 s window.
+  EXPECT_GE(body.get_u64("slo.ping.w10.count"), 1u);
+  EXPECT_EQ(body.get_double("slo.ping.w10.err_pct"), 0.0);
+}
+
+TEST(NetServer, StatsAnsweredOnLoopWhileExecutorsSaturated) {
+  net::ServerOptions opts;
+  opts.executor_threads = 1;  // one dispatcher: queued jobs serialize
+  opts.engine_threads = 1;
+  TestServer ts{std::move(opts)};
+
+  // Pin the lone executor with multi-hundred-millisecond Monte-Carlo jobs
+  // and stack more behind it.
+  net::Client load;
+  load.connect_tcp(ts.port());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    load.send_request(MsgType::kCharacterizeMc, i,
+                      mc_body("realm:m=16,t=0", 16, std::uint64_t{1} << 22,
+                              9000 + i));
+  }
+  for (int i = 0; i < 1000 && ts.server().stats().dispatched < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(ts.server().stats().dispatched, 1u);
+
+  // A second client's stats request is answered on the loop thread, fast,
+  // while the executor is busy: the body itself proves work was in flight.
+  net::Client c;
+  c.connect_tcp(ts.port());
+  const auto t0 = std::chrono::steady_clock::now();
+  const Frame r = c.call(MsgType::kStats, 1, {}, 5000);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_EQ(r.type, MsgType::kReplyOk);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            1000);
+  const campaign::PayloadReader body{r.body};
+  EXPECT_GE(body.get_u64("queue_depth") + body.get_u64("jobs_in_flight"), 1u)
+      << "executor was already idle; the saturation premise failed";
+
+  // Let the queued jobs finish so the drain in ~TestServer is orderly.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(load.recv_reply(120000).type, MsgType::kReplyOk);
+  }
+}
+
+TEST(NetClient, RecvTimeoutIsTypedAndCounted) {
+  TestServer ts{net::ServerOptions{}};
+  net::Client c;
+  c.connect_tcp(ts.port());
+  // Half a frame: the server waits for the rest, the client's deadline
+  // expires.  The throw must be the typed TimeoutError (so callers can
+  // distinguish "slow" from "broken") and the counter must tick.
+  const std::string frame = ping_frame(1);
+  c.send_raw(std::string_view{frame}.substr(0, net::kFrameHeaderBytes / 2));
+  const std::uint64_t before =
+      obs::counter_value(obs::Counter::kNetClientTimeouts);
+  EXPECT_THROW((void)c.recv_reply(100), net::TimeoutError);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kNetClientTimeouts), before + 1);
+  // TimeoutError is a runtime_error, so legacy catch sites still work.
+  c.send_raw(std::string_view{frame}.substr(net::kFrameHeaderBytes / 2));
+  const Frame r = c.recv_reply(5000);
+  EXPECT_EQ(r.type, MsgType::kReplyOk);
+  EXPECT_EQ(r.seq, 1u);
+}
+
+namespace {
+
+/// Every rid attached to a span named `span` in a Chrome trace export.
+[[nodiscard]] std::vector<std::uint64_t> rids_for_span(const std::string& json,
+                                                       const std::string& span) {
+  std::vector<std::uint64_t> rids;
+  const std::string name_key = "\"name\":\"" + span + "\"";
+  for (std::size_t pos = json.find(name_key); pos != std::string::npos;
+       pos = json.find(name_key, pos + name_key.size())) {
+    const std::size_t end = json.find("\"name\":", pos + name_key.size());
+    const std::size_t rid_pos = json.find("\"rid\":", pos);
+    if (rid_pos != std::string::npos && (end == std::string::npos || rid_pos < end)) {
+      rids.push_back(std::strtoull(json.c_str() + rid_pos + 6, nullptr, 10));
+    }
+  }
+  return rids;
+}
+
+}  // namespace
+
+TEST(NetServer, RequestIdRidesTraceSpansAcrossThreads) {
+  obs::trace_reset();
+  obs::set_tracing(true);
+  {
+    TestServer ts{net::ServerOptions{}};
+    net::Client c;
+    c.connect_tcp(ts.port());
+    const Frame r = c.call(MsgType::kCharacterizeMc, 1,
+                           mc_body("realm:m=16,t=0", 16, 4096, 42), 60000);
+    ASSERT_EQ(r.type, MsgType::kReplyOk);
+    ts.stop();  // flush completions so net/reply spans are recorded
+  }
+  obs::set_tracing(false);
+  const std::string json = obs::chrome_trace_json();
+
+  // The loop thread's accept/validate spans and the executor thread's job
+  // span carry the same request id — one lane per request in the trace.
+  const auto request_rids = rids_for_span(json, "net/request");
+  const auto job_rids = rids_for_span(json, "net/job");
+  const auto reply_rids = rids_for_span(json, "net/reply");
+  ASSERT_FALSE(request_rids.empty()) << json.substr(0, 400);
+  ASSERT_FALSE(job_rids.empty());
+  ASSERT_FALSE(reply_rids.empty());
+  bool shared = false;
+  for (const std::uint64_t rid : request_rids) {
+    if (rid == 0) continue;
+    for (const std::uint64_t jr : job_rids) shared |= jr == rid;
+  }
+  EXPECT_TRUE(shared) << "no net/job span shares a rid with a net/request span";
+  EXPECT_NE(job_rids.front(), 0u);
 }

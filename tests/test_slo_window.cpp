@@ -1,0 +1,173 @@
+// SloWindow: deterministic record/snapshot arithmetic under an explicit
+// clock, rotation across idle gaps, ring wrap-around after silence longer
+// than the ring, concurrent-writer totals, and NaN-free empty snapshots.
+
+#include "realm/obs/slo_window.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using realm::obs::kSloRingSeconds;
+using realm::obs::SloSnapshot;
+using realm::obs::SloWindow;
+
+constexpr std::uint64_t kNsPerSec = 1'000'000'000ull;
+
+[[nodiscard]] constexpr std::uint64_t at_sec(std::uint64_t sec,
+                                             std::uint64_t offset_ns = 0) {
+  return sec * kNsPerSec + offset_ns;
+}
+
+TEST(SloWindow, EmptySnapshotIsZeroAndNaNFree) {
+  SloWindow w;
+  const SloSnapshot s = w.snapshot_at(at_sec(1000), 10);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.warm_hits, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.latency.count, 0u);
+  EXPECT_EQ(s.error_rate(), 0.0);
+  EXPECT_EQ(s.warm_ratio(), 0.0);
+  EXPECT_EQ(s.rate(10), 0.0);
+  EXPECT_EQ(s.rate(0), 0.0);
+  EXPECT_FALSE(std::isnan(s.error_rate()));
+  EXPECT_FALSE(std::isnan(s.warm_ratio()));
+}
+
+TEST(SloWindow, ZeroWindowIsEmpty) {
+  SloWindow w;
+  w.record_at(at_sec(50), 1000, 64, false, false);
+  const SloSnapshot s = w.snapshot_at(at_sec(50), 0);
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(SloWindow, RecordsAggregateWithinOneSecond) {
+  SloWindow w;
+  w.record_at(at_sec(100, 100), 1000, 10, false, false);
+  w.record_at(at_sec(100, 200), 2000, 20, true, false);
+  w.record_at(at_sec(100, 300), 4000, 30, false, true);
+  const SloSnapshot s = w.snapshot_at(at_sec(100, 999), 10);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.warm_hits, 1u);
+  EXPECT_EQ(s.bytes, 60u);
+  EXPECT_EQ(s.latency.count, 3u);
+  EXPECT_DOUBLE_EQ(s.error_rate(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.warm_ratio(), 1.0 / 3.0);
+  // log2 histogram estimates are upper bounds within 2x of the true value.
+  const std::uint64_t p99 = s.latency.percentile(0.99);
+  EXPECT_GE(p99, 4000u);
+  EXPECT_LT(p99, 8000u);
+}
+
+TEST(SloWindow, WindowBoundariesAreInclusiveOfNowSecond) {
+  SloWindow w;
+  // Seconds 91..100 are inside a w10 snapshot taken during second 100;
+  // second 90 is just outside.
+  w.record_at(at_sec(90), 1000, 1, false, false);
+  w.record_at(at_sec(91), 1000, 2, false, false);
+  w.record_at(at_sec(100), 1000, 4, false, false);
+  const SloSnapshot s = w.snapshot_at(at_sec(100, 500'000'000), 10);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.bytes, 6u);
+  // The wider window still sees all three.
+  const SloSnapshot s60 = w.snapshot_at(at_sec(100, 500'000'000), 60);
+  EXPECT_EQ(s60.count, 3u);
+}
+
+TEST(SloWindow, RotationAcrossIdleGap) {
+  SloWindow w;
+  // Burst at second 5, silence, then traffic at second 200.  The second
+  // burst lands in freshly rotated buckets and the first is outside every
+  // window taken at t=200.
+  for (int i = 0; i < 8; ++i) w.record_at(at_sec(5), 500, 1, false, false);
+  w.record_at(at_sec(200), 900, 7, false, false);
+  const SloSnapshot s10 = w.snapshot_at(at_sec(200), 10);
+  EXPECT_EQ(s10.count, 1u);
+  EXPECT_EQ(s10.bytes, 7u);
+  const SloSnapshot s300 = w.snapshot_at(at_sec(200), 300);
+  EXPECT_EQ(s300.count, 9u) << "300s window still spans the idle gap";
+}
+
+TEST(SloWindow, WrapAfterLongSilenceDoesNotResurrectStaleBuckets) {
+  SloWindow w;
+  // Fill second 10, then jump ahead by more than the ring length so second
+  // 10's bucket index is reused by second 10 + kSloRingSeconds.  A snapshot
+  // before any new record must see nothing: the epoch stamp filters the
+  // stale bucket even though its slot is inside the window's index range.
+  for (int i = 0; i < 5; ++i) w.record_at(at_sec(10), 1000, 100, true, true);
+  const std::uint64_t later = 10 + kSloRingSeconds;
+  const SloSnapshot stale = w.snapshot_at(at_sec(later), 10);
+  EXPECT_EQ(stale.count, 0u) << "wrapped slot leaked a stale bucket";
+  EXPECT_EQ(stale.bytes, 0u);
+  // The first record of the new second rotates the slot; only it survives.
+  w.record_at(at_sec(later), 2000, 9, false, false);
+  const SloSnapshot fresh = w.snapshot_at(at_sec(later), 10);
+  EXPECT_EQ(fresh.count, 1u);
+  EXPECT_EQ(fresh.bytes, 9u);
+  EXPECT_EQ(fresh.errors, 0u);
+  EXPECT_EQ(fresh.warm_hits, 0u);
+}
+
+TEST(SloWindow, StaleRecordIsDroppedNotMisfiled) {
+  SloWindow w;
+  const std::uint64_t later = 20 + kSloRingSeconds;
+  // The slot for second 20 is rotated forward to `later` first; a laggard
+  // writer still holding a pre-rotation timestamp must be dropped rather
+  // than counted into the newer second.
+  w.record_at(at_sec(later), 1000, 5, false, false);
+  w.record_at(at_sec(20), 9999, 1000, true, false);
+  const SloSnapshot s = w.snapshot_at(at_sec(later), 10);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.bytes, 5u);
+  EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(SloWindow, ConcurrentWritersMergeDeterministically) {
+  SloWindow w;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  // All threads start below the same second boundary and hammer the same
+  // two seconds (forcing a concurrent rotation at the boundary).
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t sec = 400 + (i >= kPerThread / 2 ? 1 : 0);
+        w.record_at(at_sec(sec, static_cast<std::uint64_t>(i)),
+                    static_cast<std::uint64_t>(1000 + t), 3, (i % 4) == 0,
+                    (i % 2) == 0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const SloSnapshot s = w.snapshot_at(at_sec(401, 999'999'999), 10);
+  const std::uint64_t total = std::uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(s.count, total);
+  EXPECT_EQ(s.errors, total / 4);
+  EXPECT_EQ(s.warm_hits, total / 2);
+  EXPECT_EQ(s.bytes, total * 3);
+  EXPECT_EQ(s.latency.count, total);
+}
+
+TEST(SloWindow, WindowClampedToRing) {
+  SloWindow w;
+  w.record_at(at_sec(3), 1000, 2, false, false);
+  // Asking for a window wider than the ring must clamp, not crash or
+  // underflow; everything ever recorded (that is still stamped) shows up.
+  const SloSnapshot s = w.snapshot_at(at_sec(5), 100 * kSloRingSeconds);
+  EXPECT_EQ(s.count, 1u);
+}
+
+}  // namespace

@@ -8,6 +8,7 @@ Usage: check_bench_schema.py FILE [FILE ...]
        check_bench_schema.py --min-speedup FILE MIN [METRIC]
        check_bench_schema.py --min-ratio FILE_A FILE_B KEY MIN
        check_bench_schema.py --min-timeline FILE N
+       check_bench_schema.py --min-window-count FILE MIN
 
 Two file kinds are accepted:
   * BENCH_*.json — MetricsSink documents; must carry schema "realm-bench-v3"
@@ -36,7 +37,11 @@ snapshots — the CI smoke for --sample-hz actually sampling.
 equality — the serve smoke uses it to prove a warm pass's reply bytes match
 the cold pass's (metrics.reply_digest).  --min-ratio asserts
 metrics_B[KEY] / metrics_A[KEY] >= MIN — the serve smoke's warm-vs-cold
-request-rate floor.
+request-rate floor.  --min-window-count reads a realm_top --once --json
+snapshot and asserts the summed slo_*_w10_count metrics cover at least MIN
+requests, with a matching _p99_us metric published for every non-empty
+window — the live-stats smoke's proof that the SLO ring actually recorded
+the load it was under.
 
 Exits non-zero (listing every problem) if any check fails, so CI catches a
 bench drifting off the unified schema the moment it happens.  Stdlib only.
@@ -82,6 +87,9 @@ EXPECTED_COUNTERS = [
     "net_frame_errors",
     "net_backpressure_stalls",
     "net_drained",
+    "net_client_timeouts",
+    "slo_records",
+    "slo_rotations",
 ]
 
 EXPECTED_GAUGES = ["pool_workers", "pool_active_workers", "pool_queue_depth"]
@@ -310,6 +318,38 @@ def min_timeline(path, minimum):
     return 0
 
 
+def min_window_count(path, minimum):
+    metrics = load(path).get("metrics")
+    if not isinstance(metrics, dict):
+        print(f"FAIL {path}: missing 'metrics' object")
+        return 1
+    suffix = "_w10_count"
+    windows = {k: v for k, v in metrics.items()
+               if k.startswith("slo_") and k.endswith(suffix)}
+    if not windows:
+        print(f"FAIL {path}: no slo_*{suffix} metrics found")
+        return 1
+    problems = []
+    total = 0
+    for key, value in sorted(windows.items()):
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"{key} is not a non-negative integer: {value!r}")
+            continue
+        total += value
+        p99_key = key[: -len(suffix)] + "_w10_p99_us"
+        if value > 0 and not isinstance(metrics.get(p99_key), (int, float)):
+            problems.append(f"{key} = {value} but {p99_key} is missing")
+    if total < minimum:
+        problems.append(f"summed w10 window count {total} < required {minimum}")
+    if problems:
+        print(f"FAIL {path}")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"ok   {path}: {len(windows)} windows hold {total} request(s) >= {minimum}")
+    return 0
+
+
 def min_counter(path, name, minimum):
     counters = load(path).get("counters")
     value = counters.get(name) if isinstance(counters, dict) else None
@@ -352,6 +392,12 @@ def main(argv):
                       file=sys.stderr)
                 return 2
             return min_counter(argv[2], argv[3], int(argv[4]))
+        if argv[1] == "--min-window-count":
+            if len(argv) != 4:
+                print("usage: check_bench_schema.py --min-window-count FILE MIN",
+                      file=sys.stderr)
+                return 2
+            return min_window_count(argv[2], int(argv[3]))
         if argv[1] == "--min-timeline":
             if len(argv) != 4:
                 print("usage: check_bench_schema.py --min-timeline FILE N",

@@ -1,34 +1,30 @@
 // realm_cli — one command-line front end for the whole library.
 //
-//   realm_cli characterize <spec> [samples]     error metrics (Monte-Carlo)
-//   realm_cli predict <M> [q]                   analytic error prediction
-//   realm_cli synth <spec> [n]                  gates/area/power/delay report
-//   realm_cli verilog <spec> <out.v>            structural Verilog + TB
-//   realm_cli sij <M> [q]                       error-reduction factor table
-//   realm_cli profile <spec> <out.ppm>          Fig.1-style error heat map
-//   realm_cli jpeg <spec> [in.pgm]              JPEG PSNR evaluation
-//   realm_cli divide <a> <b> [M]                approximate division demo
-//   realm_cli list                              all Table I design specs
-//   realm_cli recommend [max_mean%] [max_peak%] cheapest design in budget
+// The verb catalog (names, argument synopses, help lines) lives in
+// realm_cli_commands.hpp, which also renders the usage text — dispatch and
+// help share one table, so they cannot drift.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "realm/campaign/record.hpp"
 #include "realm/core/divider.hpp"
 #include "realm/core/error_analysis.hpp"
 #include "realm/error/render.hpp"
+#include "realm/net/client.hpp"
 #include "realm/realm.hpp"
+#include "realm_cli_commands.hpp"
 
 using namespace realm;
 
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: realm_cli <characterize|predict|synth|verilog|sij|profile|"
-               "jpeg|divide|list|recommend> [args]\n");
+  std::fputs(cli::usage_text().c_str(), stderr);
   return 2;
 }
 
@@ -169,11 +165,87 @@ int cmd_recommend(int argc, char** argv) {
   return 0;
 }
 
+// Prometheus text exposition of one stats field: name sanitized to the
+// metric charset, value re-rendered as a plain decimal (counters stay
+// verbatim; hex-floats round-trip through strtod).
+void print_prom_field(const std::string& name, const std::string& value) {
+  std::string metric = "realm_";
+  for (const char ch : name) {
+    metric += (std::isalnum(static_cast<unsigned char>(ch)) != 0) ? ch : '_';
+  }
+  char* end = nullptr;
+  const double d = std::strtod(value.c_str(), &end);
+  const bool numeric = end != nullptr && *end == '\0' && !value.empty();
+  const bool integral = numeric && value.find_first_of(".xXpP") == std::string::npos;
+  if (integral) {
+    std::printf("%s %s\n", metric.c_str(), value.c_str());
+  } else if (numeric) {
+    std::printf("%s %.17g\n", metric.c_str(), d);
+  }
+  // Non-numeric values (none today) are silently skipped: Prometheus text
+  // format has no string samples.
+}
+
+int cmd_stats(int argc, char** argv) {
+  std::string unix_path;
+  int port = 0;
+  bool prom = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--unix" && i + 1 < argc) {
+      unix_path = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--stats-format=prom") {
+      prom = true;
+    } else if (arg == "--stats-format=raw") {
+      prom = false;
+    } else {
+      std::fprintf(stderr, "stats: unknown argument '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (unix_path.empty() && port == 0) {
+    std::fprintf(stderr, "stats: need --unix PATH or --port N\n");
+    return usage();
+  }
+  net::Client client;
+  if (!unix_path.empty()) {
+    client.connect_unix(unix_path);
+  } else {
+    client.connect_tcp(port);
+  }
+  const net::Frame reply = client.call(net::MsgType::kStats, 1, {});
+  if (reply.type != net::MsgType::kReplyOk) {
+    const net::ErrorReply err = net::parse_error(reply.body);
+    std::fprintf(stderr, "stats: server error %s: %s\n",
+                 net::error_code_name(err.code), err.message.c_str());
+    return 1;
+  }
+  if (!prom) {
+    std::fputs(reply.body.c_str(), stdout);
+    return 0;
+  }
+  const campaign::PayloadReader r{reply.body};
+  for (const auto& [name, value] : r.fields()) print_prom_field(name, value);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  // Reject unknown verbs against the shared catalog before dispatching, so
+  // a verb cannot exist in the dispatch chain without a usage row.
+  bool known = false;
+  for (const cli::CommandSpec& c : cli::kCommands) {
+    if (cmd == c.name) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) return usage();
   try {
     if (cmd == "characterize") return cmd_characterize(argc, argv);
     if (cmd == "predict") return cmd_predict(argc, argv);
@@ -185,9 +257,13 @@ int main(int argc, char** argv) {
     if (cmd == "divide") return cmd_divide(argc, argv);
     if (cmd == "list") return cmd_list();
     if (cmd == "recommend") return cmd_recommend(argc, argv);
+    if (cmd == "stats") return cmd_stats(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
+  // A verb in the catalog with no dispatch branch is a table/dispatch drift
+  // bug; fail loudly rather than pretending the verb does not exist.
+  std::fprintf(stderr, "internal error: verb '%s' has no handler\n", cmd.c_str());
+  return 1;
 }
